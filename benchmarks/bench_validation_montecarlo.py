@@ -1,0 +1,105 @@
+"""VAL-MC — "models to corroborate our equations" (Section VII).
+
+Two corroboration levels:
+
+1. abstract — the closed-form E[T_chk;ov] against the segment-game
+   Monte-Carlo, across a (λ, N) grid;
+2. system — the full cluster simulation (real flows, real recoveries)
+   against the model prediction at a matched operating point.
+"""
+
+import numpy as np
+
+from repro.analysis import format_seconds, render_table
+from repro.checkpoint import DiskfulCheckpointer
+from repro.failures import Exponential, FailureInjector, FailureSchedule
+from repro.model import (
+    ClusterModel,
+    diskful_costs,
+    estimate_expected_time,
+    expected_time_with_overhead,
+)
+from repro.workloads import CheckpointedJob, paper_scenario
+
+
+def test_valmc_equation_grid(benchmark, report):
+    """Closed form vs Monte-Carlo over a (MTBF, interval) grid."""
+    T, Tov, Tr = 8 * 3600.0, 120.0, 60.0
+    grid = [
+        (1 / 1800.0, 600.0),
+        (1 / 3600.0, 900.0),
+        (1 / 3600.0, 1800.0),
+        (1 / 7200.0, 1800.0),
+        (1 / 14400.0, 3600.0),
+    ]
+
+    def run_grid():
+        rng = np.random.default_rng(7)
+        out = []
+        for lam, N in grid:
+            analytic = expected_time_with_overhead(lam, T, N, Tov, Tr)
+            mc = estimate_expected_time(rng, lam, T, N, Tov, Tr, n_runs=4000)
+            out.append((lam, N, analytic, mc))
+        return out
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    all_ok = True
+    for lam, N, analytic, mc in results:
+        ok = mc.within(analytic)
+        all_ok &= ok
+        rows.append([
+            f"{1 / lam / 3600:.1f}h",
+            format_seconds(N),
+            format_seconds(analytic),
+            f"{format_seconds(mc.mean)} ± {format_seconds(1.96 * mc.std_error)}",
+            "yes" if ok else "NO",
+        ])
+    report(render_table(
+        ["MTBF", "interval", "E[T] closed form", "E[T] Monte-Carlo (95% CI)",
+         "agrees (3 sigma)"],
+        rows,
+        title="VAL-MC — Section V equations vs Monte-Carlo (T = 8 h)",
+    ))
+    assert all_ok
+
+
+def test_valmc_system_level(benchmark, report):
+    """Cluster-simulation time ratio vs the model's prediction."""
+    work, interval = 2 * 3600.0, 900.0
+    node_mtbf = 8 * 3600.0
+    lam = 4 / node_mtbf
+
+    def one_run(seed: int) -> float | None:
+        sc = paper_scenario(seed=seed, functional=True)
+        rng = sc.rngs.stream("failures")
+        sched = FailureSchedule.draw(
+            rng, Exponential(1 / node_mtbf), 4, horizon=work * 8,
+            repair_time=30.0,
+        )
+        inj = FailureInjector(sc.sim, 4, schedule=sched)
+        ck = DiskfulCheckpointer(sc.cluster)
+        job = CheckpointedJob(sc.cluster, ck, work=work, interval=interval,
+                              injector=inj, repair_time=30.0)
+        inj.start()
+        proc = job.start()
+        sc.sim.run()
+        if proc.ok is False:
+            raise proc.value
+        return job.result.time_ratio if job.result.completed else None
+
+    def replications():
+        vals = [one_run(seed) for seed in range(5)]
+        return [v for v in vals if v is not None]
+
+    ratios = benchmark.pedantic(replications, rounds=1, iterations=1)
+    measured = float(np.mean(ratios))
+    t_ov = diskful_costs(ClusterModel(), interval).overhead
+    predicted = expected_time_with_overhead(lam, work, interval, t_ov, 30.0) / work
+    report(
+        f"VAL-MC system level (diskful, 2h job, cluster MTBF 2h): "
+        f"simulated E[T]/T = {measured:.3f} over {len(ratios)} runs, "
+        f"model = {predicted:.3f} "
+        f"(relative error {abs(measured - predicted) / predicted * 100:.0f}%)"
+    )
+    assert abs(measured - predicted) / predicted < 0.35

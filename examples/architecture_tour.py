@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Tour of the three diskless architectures (Figs. 1, 3, 4) plus Remus.
+
+Builds each architecture on an equivalent cluster, runs one checkpoint
+epoch, and compares where the time goes — the narrative of Section IV:
+the first-shot design wastes a node and serializes on it; a dedicated
+checkpoint node restores multi-VM density but keeps the fan-in; DVDC
+distributes both traffic and XOR work.  Remus (Section VI) is shown as
+the replication alternative: minimal lost work, but a full standby
+image per protected VM.
+
+Run:  python examples/architecture_tour.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, VirtualCluster
+from repro.analysis import format_bytes, format_seconds, render_table
+from repro.checkpoint import RemusModel
+from repro.core import checkpoint_node, dvdc, first_shot
+from repro.sim import Simulator
+
+GB = 1e9
+
+
+def _functional_vm(cluster, node, rng):
+    vm = cluster.create_vm(node, GB, dirty_rate=2e5, image_pages=16, page_size=64)
+    vm.image.write(0, rng.integers(0, 256, 512, dtype=np.uint8))
+    vm.image.clear_dirty()
+    return vm
+
+
+def run_epoch(ck, sim):
+    out = {}
+
+    def proc():
+        out["r"] = yield from ck.run_cycle()
+
+    sim.run_processes(proc())
+    return out["r"]
+
+
+def build_fig1():
+    """Fig. 1: 3 compute nodes x 1 VM + 1 dedicated parity node."""
+    sim = Simulator()
+    cluster = VirtualCluster(sim, ClusterSpec(n_nodes=4))
+    rng = np.random.default_rng(1)
+    for node in range(3):
+        _functional_vm(cluster, node, rng)
+    return sim, cluster, first_shot(cluster)
+
+
+def build_fig3():
+    """Fig. 3: 3 compute nodes x 3 VMs + 1 dedicated checkpoint node."""
+    sim = Simulator()
+    cluster = VirtualCluster(sim, ClusterSpec(n_nodes=4))
+    rng = np.random.default_rng(2)
+    for node in range(3):
+        for _ in range(3):
+            _functional_vm(cluster, node, rng)
+    return sim, cluster, checkpoint_node(cluster, node_id=3)
+
+
+def build_fig4():
+    """Fig. 4: 4 compute nodes x 3 VMs, rotating parity — DVDC."""
+    sim = Simulator()
+    cluster = VirtualCluster(sim, ClusterSpec(n_nodes=4))
+    rng = np.random.default_rng(3)
+    for i in range(12):
+        _functional_vm(cluster, i % 4, rng)
+    return sim, cluster, dvdc(cluster)
+
+
+def main() -> None:
+    rows = []
+    for label, builder in (
+        ("Fig.1 first-shot (3 VMs)", build_fig1),
+        ("Fig.3 ckpt node (9 VMs)", build_fig3),
+        ("Fig.4 DVDC     (12 VMs)", build_fig4),
+    ):
+        sim, cluster, ck = builder()
+        r = run_epoch(ck, sim)
+        n_vms = len(cluster.all_vms)
+        busiest = max(r.xor_seconds_by_node.values())
+        rows.append([
+            label,
+            n_vms,
+            len(ck.layout),
+            format_seconds(r.overhead),
+            format_seconds(r.latency),
+            format_bytes(r.network_bytes),
+            f"{busiest / max(r.total_xor_seconds, 1e-12) * 100:.0f}%",
+            format_seconds(r.latency / n_vms),
+        ])
+    print(render_table(
+        ["architecture", "VMs", "groups", "overhead", "latency",
+         "traffic", "XOR on busiest node", "latency/VM"],
+        rows,
+        title="One checkpoint epoch per architecture (1 GB VMs, GbE)",
+    ))
+    print("""
+Reading:
+ * Fig.1 protects 3 VMs and pushes every image through one parity node.
+ * Fig.3 protects 9, but the dedicated node's rx link and XOR engine
+   serialize the epoch (100% of parity work on one node).
+ * Fig.4 protects 12 and still finishes fastest per VM: traffic rides
+   every NIC and parity work splits evenly — Section IV-B's claim.
+""")
+
+    # Remus comparison (Section VI)
+    m = RemusModel(epoch_length=25e-3, bandwidth=125e6)
+    rows = []
+    for dirty_mb in (1.0, 10.0, 50.0, 125.0, 200.0):
+        rate = dirty_mb * 1e6
+        rows.append([
+            f"{dirty_mb:g} MB/s",
+            f"{m.overhead_fraction(rate, GB) * 100:.1f}%",
+            format_seconds(m.speculation_loss()),
+            format_bytes(m.standby_memory_bytes(GB)),
+        ])
+    print(render_table(
+        ["VM dirty rate", "runtime overhead", "lost work on failover",
+         "standby memory/VM"],
+        rows,
+        title="Remus active/standby at 40 Hz epochs (the Section VI comparator)",
+    ))
+    print("""
+Remus loses almost nothing at failover (~1.5 epochs) but pays a
+continuous overhead that grows with the dirty rate and a full standby
+image per VM; DVDC stores one parity image per RAID group and pays only
+at checkpoint instants — the trade-off Section VI describes.""")
+
+
+if __name__ == "__main__":
+    main()

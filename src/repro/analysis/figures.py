@@ -1,0 +1,90 @@
+"""Terminal line plots for sweep results.
+
+Renders Fig. 5-style curves as ASCII so the benchmark harness can show
+the *shape* (who wins, where the minima fall) directly in test output
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+
+def ascii_plot(
+    series: Sequence[tuple[str, np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    title: str | None = None,
+    marks: Sequence[tuple[float, float]] | None = None,
+) -> str:
+    """Plot (label, x, y) series on one canvas.
+
+    ``marks`` places an ``X`` at the given data coordinates (the optimal
+    intervals in Fig. 5).  Series get the glyphs ``* + o #`` in order.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    glyphs = "*+o#%@"
+    xs_all = np.concatenate([np.asarray(s[1], dtype=float) for s in series])
+    ys_all = np.concatenate([np.asarray(s[2], dtype=float) for s in series])
+    finite = np.isfinite(xs_all) & np.isfinite(ys_all)
+    if not finite.any():
+        raise ValueError("no finite data to plot")
+    x_lo, x_hi = xs_all[finite].min(), xs_all[finite].max()
+    y_lo, y_hi = ys_all[finite].min(), ys_all[finite].max()
+    if logx:
+        if x_lo <= 0:
+            raise ValueError("logx requires positive x values")
+        x_lo, x_hi = math.log10(x_lo), math.log10(x_hi)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def to_col(x: float) -> int:
+        v = math.log10(x) if logx else x
+        return int(round((v - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (label, xs, ys) in enumerate(series):
+        g = glyphs[si % len(glyphs)]
+        for x, y in zip(np.asarray(xs, float), np.asarray(ys, float)):
+            if not (np.isfinite(x) and np.isfinite(y)):
+                continue
+            c, r = to_col(x), to_row(y)
+            if 0 <= r < height and 0 <= c < width:
+                canvas[r][c] = g
+    if marks:
+        for x, y in marks:
+            c, r = to_col(x), to_row(y)
+            if 0 <= r < height and 0 <= c < width:
+                canvas[r][c] = "X"
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_labels = [y_hi, (y_lo + y_hi) / 2.0, y_lo]
+    label_rows = {0: 0, height // 2: 1, height - 1: 2}
+    for r in range(height):
+        prefix = (
+            f"{y_labels[label_rows[r]]:>10.4g} |" if r in label_rows else " " * 10 + " |"
+        )
+        lines.append(prefix + "".join(canvas[r]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    x_left = 10 ** x_lo if logx else x_lo
+    x_right = 10 ** x_hi if logx else x_hi
+    lines.append(f"{'':10} {x_left:<12.4g}{'':{max(0, width - 24)}}{x_right:>12.4g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {label}" for i, (label, _, _) in enumerate(series)
+    )
+    lines.append(" " * 11 + legend + ("   X optimum" if marks else ""))
+    return "\n".join(lines)

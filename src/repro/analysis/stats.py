@@ -1,0 +1,69 @@
+"""Summary statistics for experiment results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "bootstrap_ci", "relative_error"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    @property
+    def std_error(self) -> float:
+        return self.std / math.sqrt(self.n) if self.n > 1 else float("inf")
+
+    def ci95(self) -> tuple[float, float]:
+        half = 1.96 * self.std_error
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(samples) -> Summary:
+    """Summary statistics of a 1-D sample."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def bootstrap_ci(
+    samples,
+    rng: np.random.Generator,
+    stat=np.mean,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for an arbitrary statistic."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    stats = np.array([stat(arr[row]) for row in idx])
+    lo, hi = np.quantile(stats, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(lo), float(hi)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured − reference| / |reference| (inf when reference is 0)."""
+    if reference == 0:
+        return math.inf if measured != 0 else 0.0
+    return abs(measured - reference) / abs(reference)

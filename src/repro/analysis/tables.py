@@ -1,0 +1,72 @@
+"""Aligned text tables for benchmark output.
+
+The benches print the same rows/series the paper reports; this keeps
+the rendering consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_seconds", "format_bytes"]
+
+
+def format_seconds(value: float) -> str:
+    """Human scale: µs/ms/s/min/h as appropriate."""
+    a = abs(value)
+    if a < 1e-3:
+        return f"{value * 1e6:.1f}µs"
+    if a < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    if a < 120.0:
+        return f"{value:.2f}s"
+    if a < 7200.0:
+        return f"{value / 60.0:.1f}min"
+    return f"{value / 3600.0:.2f}h"
+
+
+def format_bytes(value: float) -> str:
+    """Human scale with binary prefixes."""
+    a = abs(value)
+    for unit, div in (("GiB", 1 << 30), ("MiB", 1 << 20), ("KiB", 1 << 10)):
+        if a >= div:
+            return f"{value / div:.2f}{unit}"
+    return f"{value:.0f}B"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    align: str | None = None,
+) -> str:
+    """Monospace table.  ``align`` is a string of 'l'/'r' per column
+    (default: first column left, rest right)."""
+    cols = len(headers)
+    if align is None:
+        align = "l" + "r" * (cols - 1)
+    if len(align) != cols:
+        raise ValueError(f"align {align!r} does not match {cols} columns")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for r in str_rows:
+        if len(r) != cols:
+            raise ValueError(f"row {r!r} does not match {cols} columns")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(cols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if align[i] == "l" else cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt_row(list(headers)))
+    out.append(sep)
+    out.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,78 @@
+"""ASCII timeline rendering of simulation traces.
+
+Turns a :class:`~repro.sim.trace.Tracer` into a lane-per-event-kind
+Gantt-style strip, so an experiment's story — checkpoints ticking,
+failures striking, recoveries running — is visible directly in
+terminal output.  Used by the examples and handy when debugging
+protocol interleavings.
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import Tracer
+
+__all__ = ["render_timeline"]
+
+#: Default lane mapping: kind prefix -> (label, glyph).
+DEFAULT_LANES = [
+    ("diskless.cycle", "checkpoint", "c"),
+    ("diskful.cycle", "checkpoint", "c"),
+    ("rdp.cycle", "checkpoint", "c"),
+    ("failure.node", "failure", "X"),
+    ("cluster.node_failed", "failure", "X"),
+    ("diskless.recovery", "recovery", "R"),
+    ("diskful.recovery", "recovery", "R"),
+    ("rdp.recovery", "recovery", "R"),
+    ("cluster.node_repaired", "repair", "+"),
+    ("diskless.heal", "heal", "h"),
+    ("migration.done", "migration", "m"),
+]
+
+
+def render_timeline(
+    tracer: Tracer,
+    width: int = 78,
+    start: float | None = None,
+    end: float | None = None,
+    lanes: list[tuple[str, str, str]] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render trace records as labeled character lanes over time.
+
+    Each configured lane collects the records whose kind starts with its
+    prefix; every record paints its glyph at the proportional column.
+    Overlapping records in one cell keep the glyph (density is shown by
+    runs, exact counts by the trailing tally).
+    """
+    lanes = lanes if lanes is not None else DEFAULT_LANES
+    if not tracer.records:
+        return "(no trace records)"
+    times = [r.time for r in tracer.records]
+    t0 = min(times) if start is None else start
+    t1 = max(times) if end is None else end
+    if t1 <= t0:
+        t1 = t0 + 1.0
+
+    # group lanes by label, preserving order
+    by_label: dict[str, tuple[str, list[str]]] = {}
+    for prefix, label, glyph in lanes:
+        by_label.setdefault(label, (glyph, []))[1].append(prefix)
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    label_w = max((len(lbl) for lbl in by_label), default=0)
+    for label, (glyph, prefixes) in by_label.items():
+        row = [" "] * width
+        count = 0
+        for r in tracer.records:
+            if not (t0 <= r.time <= t1):
+                continue
+            if any(r.kind.startswith(p) for p in prefixes):
+                col = int((r.time - t0) / (t1 - t0) * (width - 1))
+                row[col] = glyph
+                count += 1
+        if count:
+            out.append(f"{label:>{label_w}} |{''.join(row)}| {count}")
+    out.append(f"{'':>{label_w}}  {t0:<12.6g}{'':{max(0, width - 24)}}{t1:>12.6g}")
+    return "\n".join(out)

@@ -1,0 +1,124 @@
+"""Checkpoint capture strategies and shared policy interfaces.
+
+Terminology follows Section II-B2 (after Plank/Koren):
+
+* **overhead** — wall-clock during which guest execution is suspended by
+  checkpointing (the pause);
+* **latency** — time from the start of a checkpoint until the checkpoint
+  is *usable* for recovery (committed to its sink).  Latency ≥ overhead,
+  and diskless checkpointing's whole point is slashing latency by
+  removing the disk from the commit path.
+
+A :class:`CaptureStrategy` turns one VM's live state into a
+:class:`~repro.cluster.images.CheckpointImage` plus the pause the guest
+suffers; sinks/protocols (diskful baseline, Remus, DVDC) then move and
+commit those images, each charging its own pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..cluster.hypervisor import Hypervisor
+from ..cluster.images import CheckpointImage
+from ..cluster.vm import VirtualMachine
+from ..migration.downtime import PAPER_BASE_OVERHEAD
+
+__all__ = [
+    "CaptureSpec",
+    "CaptureStrategy",
+    "CaptureOutcome",
+    "CheckpointCycleResult",
+    "CheckpointProtocol",
+]
+
+#: In-memory copy bandwidth for non-COW capture (memcpy class), bytes/s.
+DEFAULT_COPY_BANDWIDTH = 4e9
+
+
+@dataclass(frozen=True)
+class CaptureSpec:
+    """Cost parameters of the capture mechanism.
+
+    ``pause_fixed`` is the suspend/resume floor — the paper's 40 ms
+    baseline overhead.  ``copy_bandwidth`` applies when the image (or
+    dirty set) must be copied synchronously while paused; copy-on-write
+    strategies dodge that term.
+    """
+
+    pause_fixed: float = PAPER_BASE_OVERHEAD
+    copy_bandwidth: float = DEFAULT_COPY_BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if self.pause_fixed < 0:
+            raise ValueError(f"pause_fixed must be >= 0, got {self.pause_fixed}")
+        if self.copy_bandwidth <= 0:
+            raise ValueError(f"copy_bandwidth must be > 0, got {self.copy_bandwidth}")
+
+
+@dataclass(frozen=True)
+class CaptureOutcome:
+    """One VM captured: the image plus the guest pause charged."""
+
+    image: CheckpointImage
+    pause_seconds: float
+
+
+class CaptureStrategy(Protocol):
+    """Capture policy: produces images and pause costs.
+
+    ``elapsed`` is the time since this VM's previous checkpoint — what
+    incremental strategies need to size the dirty set for logical-only
+    VMs (functional VMs read their real dirty log instead).
+    """
+
+    def capture(
+        self,
+        hypervisor: Hypervisor,
+        vm: VirtualMachine,
+        epoch: int,
+        now: float,
+        elapsed: float,
+    ) -> CaptureOutcome:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class CheckpointCycleResult:
+    """Accounting for one cluster-wide checkpoint cycle.
+
+    ``overhead`` — global execution suspension (the model's share of
+    T_ov); ``latency`` — start-to-commit for the slowest element;
+    ``network_bytes`` / ``disk_bytes`` — traffic; ``parity_bytes`` —
+    XOR work performed (diskless protocols only).
+    """
+
+    epoch: int
+    started_at: float
+    overhead: float = 0.0
+    latency: float = 0.0
+    network_bytes: float = 0.0
+    disk_bytes: float = 0.0
+    parity_bytes: float = 0.0
+    per_vm_pause: dict[int, float] = field(default_factory=dict)
+    committed: bool = False
+
+
+class CheckpointProtocol(Protocol):
+    """End-to-end checkpoint protocol over a cluster.
+
+    Implementations: :class:`repro.checkpoint.diskful.DiskfulCheckpointer`
+    (baseline), :class:`repro.core.dvdc.DVDC` (the contribution), and the
+    Fig. 1/Fig. 3 architecture variants.
+    """
+
+    def run_cycle(self):  # pragma: no cover - protocol
+        """Simulation process performing one coordinated checkpoint;
+        returns a :class:`CheckpointCycleResult`."""
+        ...
+
+    def recover(self, failed_node_id: int):  # pragma: no cover - protocol
+        """Simulation process recovering from a node failure; returns a
+        recovery report object."""
+        ...

@@ -1,0 +1,133 @@
+"""Checkpoint compression (Section II-B1 / IV-C).
+
+Two cooperating pieces:
+
+* :class:`CompressionModel` — the *timing* view: a compression ratio and
+  a CPU throughput, used by the overhead pipelines ("suitably
+  compressing the differences of the last checkpoint when sending
+  information over the network", Section IV-C).
+* :func:`compress_delta` / :func:`compressed_size` — the *functional*
+  view: zero-page elimination plus zlib over real page payloads, used to
+  measure achieved ratios on synthetic working sets.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.memory import PageDelta
+from ..cluster.xorsum import as_u8
+
+__all__ = [
+    "CompressionModel",
+    "CompressedDelta",
+    "compress_delta",
+    "compressed_size",
+    "NO_COMPRESSION",
+]
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """Timing model of a compressor in the checkpoint path.
+
+    ``ratio`` is output/input (0 < ratio ≤ 1; 0.5 means 2:1).
+    ``throughput`` is compressor speed in input-bytes/second; the CPU
+    time charged is ``nbytes / throughput`` (0 cost if ``throughput``
+    is ``None`` — compression folded into the copy, e.g. zero-page
+    skipping in the hypervisor).
+    """
+
+    ratio: float = 0.5
+    throughput: float | None = 1.5e9
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.ratio <= 1.0):
+            raise ValueError(f"ratio must be in (0, 1], got {self.ratio}")
+        if self.throughput is not None and self.throughput <= 0:
+            raise ValueError(f"throughput must be > 0, got {self.throughput}")
+
+    def output_bytes(self, nbytes: float) -> float:
+        return nbytes * self.ratio
+
+    def cpu_seconds(self, nbytes: float) -> float:
+        if self.throughput is None:
+            return 0.0
+        return nbytes / self.throughput
+
+
+#: Identity compression (ratio 1, free).
+NO_COMPRESSION = CompressionModel(ratio=1.0, throughput=None)
+
+
+@dataclass(frozen=True)
+class CompressedDelta:
+    """A functionally compressed :class:`PageDelta`.
+
+    ``blobs`` holds one zlib stream per surviving (non-zero) page;
+    ``zero_indices`` lists pages represented by a flag only.
+    """
+
+    delta: PageDelta
+    zero_indices: np.ndarray
+    blobs: list[bytes]
+    blob_indices: np.ndarray
+
+    @property
+    def raw_bytes(self) -> int:
+        return self.delta.nbytes
+
+    @property
+    def compressed_bytes(self) -> int:
+        # 8 bytes of framing per page record (index + length)
+        framing = 8 * (len(self.blobs) + len(self.zero_indices))
+        return sum(len(b) for b in self.blobs) + framing
+
+    @property
+    def ratio(self) -> float:
+        if self.raw_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self.raw_bytes
+
+    def decompress(self) -> PageDelta:
+        """Reconstruct the original delta bit-exactly."""
+        pages = np.zeros(
+            (self.delta.n_pages, self.delta.page_size), dtype=np.uint8
+        )
+        # positions of blob pages within the delta's index order
+        pos_of = {int(idx): k for k, idx in enumerate(self.delta.indices)}
+        for blob, idx in zip(self.blobs, self.blob_indices):
+            row = np.frombuffer(zlib.decompress(blob), dtype=np.uint8)
+            pages[pos_of[int(idx)]] = row
+        # zero pages are already zero
+        return PageDelta(
+            page_size=self.delta.page_size,
+            n_pages_total=self.delta.n_pages_total,
+            indices=self.delta.indices,
+            pages=pages,
+        )
+
+
+def compress_delta(delta: PageDelta, level: int = 1) -> CompressedDelta:
+    """Zero-page elimination + zlib per non-zero page."""
+    zero_mask = ~delta.pages.any(axis=1)
+    zero_indices = delta.indices[zero_mask]
+    blob_indices = delta.indices[~zero_mask]
+    blobs = [
+        zlib.compress(delta.pages[k].tobytes(), level)
+        for k in np.flatnonzero(~zero_mask)
+    ]
+    return CompressedDelta(
+        delta=delta,
+        zero_indices=zero_indices,
+        blobs=blobs,
+        blob_indices=blob_indices,
+    )
+
+
+def compressed_size(buf: np.ndarray | bytes, level: int = 1) -> int:
+    """zlib-compressed size of an arbitrary buffer (for measurements)."""
+    return len(zlib.compress(as_u8(buf).tobytes(), level))

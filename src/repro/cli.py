@@ -1,0 +1,331 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+fig5
+    Reproduce the paper's headline figure analytically and print the
+    optima table (optionally the ASCII curve).
+epoch
+    Run one checkpoint epoch of a chosen architecture on a simulated
+    cluster and print the cost accounting.
+job
+    Run an end-to-end checkpointed job with failure injection and print
+    the realized completion statistics.
+study
+    Paired multi-method comparison over shared failure traces.
+validate
+    Corroborate the Section V equations against Monte-Carlo.
+calibrate
+    Measure this host's streaming XOR bandwidth (the model's
+    ``memory_xor_bandwidth`` input).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import ascii_plot, format_bytes, format_seconds, render_table
+from .failures import Exponential, FailureInjector, FailureSchedule
+from .model import ClusterModel, fig5
+from .workloads import CheckpointedJob, paper_scenario, scaled_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    cluster = ClusterModel(
+        n_nodes=args.nodes,
+        vms_per_node=args.vms_per_node,
+        vm_dirty_rate=args.dirty_rate,
+    )
+    result = fig5(
+        lam=1.0 / (args.mtbf * 3600.0),
+        T=args.job * 3600.0,
+        cluster=cluster,
+    )
+    rows = []
+    for s in (result.diskful, result.diskless):
+        rows.append([
+            s.method,
+            format_seconds(s.optimum.interval),
+            format_seconds(s.optimum.overhead_at_optimum),
+            f"{s.min_ratio:.4f}",
+            f"{s.overhead_ratio * 100:.2f}%",
+        ])
+    print(render_table(
+        ["method", "optimal interval", "T_ov", "E[T]/T", "overhead"],
+        rows,
+        title=(
+            f"Fig. 5 @ MTBF {args.mtbf:g} h, job {args.job:g} h, "
+            f"{args.nodes} nodes x {args.vms_per_node} VMs"
+        ),
+    ))
+    print(f"\ndiskless reduces expected completion time by "
+          f"{result.reduction * 100:.1f}%")
+    if args.plot:
+        mask = result.diskful.ratios < 2.0
+        print()
+        print(ascii_plot(
+            [
+                ("diskless", result.diskless.intervals[mask],
+                 result.diskless.ratios[mask]),
+                ("diskful", result.diskful.intervals[mask],
+                 result.diskful.ratios[mask]),
+            ],
+            logx=True,
+            marks=[
+                (result.diskless.optimum.interval, result.diskless.min_ratio),
+                (result.diskful.optimum.interval, result.diskful.min_ratio),
+            ],
+        ))
+    return 0
+
+
+def _cmd_epoch(args: argparse.Namespace) -> int:
+    from .checkpoint import DiskfulCheckpointer
+    from .core import checkpoint_node, dvdc, first_shot
+
+    sc = scaled_scenario(
+        args.nodes, args.vms_per_node, seed=args.seed, functional=False
+    )
+    if args.arch == "dvdc":
+        ck = dvdc(sc.cluster)
+    elif args.arch == "diskful":
+        ck = DiskfulCheckpointer(sc.cluster)
+    elif args.arch == "checkpoint-node":
+        # vacate the last node for parity duty
+        node = args.nodes - 1
+        for vm in list(sc.cluster.vms_on(node)):
+            sc.cluster.node(node).evict(vm)
+            del sc.cluster.vms[vm.vm_id]
+        ck = checkpoint_node(sc.cluster, node_id=node)
+    elif args.arch == "firstshot":
+        for node in range(args.nodes):
+            extra = sc.cluster.vms_on(node)[1:] if node < args.nodes - 1 else (
+                sc.cluster.vms_on(node)
+            )
+            for vm in extra:
+                sc.cluster.node(node).evict(vm)
+                del sc.cluster.vms[vm.vm_id]
+        ck = first_shot(sc.cluster)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.arch)
+
+    out = {}
+
+    def proc():
+        out["r"] = yield from ck.run_cycle()
+
+    sc.sim.run_processes(proc())
+    r = out["r"]
+    rows = [[
+        args.arch,
+        len(sc.cluster.all_vms),
+        format_seconds(r.overhead),
+        format_seconds(r.latency),
+        format_bytes(r.network_bytes),
+    ]]
+    print(render_table(
+        ["architecture", "VMs", "overhead", "latency", "traffic"],
+        rows,
+        title="one checkpoint epoch",
+    ))
+    xor = getattr(r, "xor_seconds_by_node", None)
+    if xor:
+        print("parity work by node: "
+              + ", ".join(f"{n}: {format_seconds(t)}" for n, t in sorted(xor.items())))
+    return 0
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    from .checkpoint import DiskfulCheckpointer, IncrementalCapture
+    from .core import dvdc
+
+    work = args.work * 3600.0
+    rows = []
+    for seed in range(args.seeds):
+        sc = paper_scenario(seed=seed, functional=True)
+        rng = sc.rngs.stream("failures")
+        schedule = FailureSchedule.draw(
+            rng, Exponential(1.0 / (args.node_mtbf * 3600.0)),
+            sc.cluster.n_nodes, horizon=work * 10, repair_time=args.repair,
+        )
+        injector = FailureInjector(sc.sim, sc.cluster.n_nodes, schedule=schedule)
+        if args.method == "dvdc":
+            ck = dvdc(sc.cluster, strategy=IncrementalCapture())
+        else:
+            ck = DiskfulCheckpointer(sc.cluster)
+        job = CheckpointedJob(
+            sc.cluster, ck, work=work, interval=args.interval,
+            injector=injector, repair_time=args.repair, overlap=args.overlap,
+        )
+        injector.start()
+        proc = job.start()
+        sc.sim.run(until=work * 50)
+        if proc.ok is False:
+            raise proc.value
+        r = job.result
+        rows.append([
+            seed,
+            "yes" if r.completed else "LOST",
+            f"{r.time_ratio:.3f}",
+            r.n_failures,
+            r.n_recoveries,
+            format_seconds(r.checkpoint_time),
+            format_seconds(r.lost_work),
+        ])
+    print(render_table(
+        ["seed", "completed", "T/T_ideal", "failures", "recoveries",
+         "ckpt time", "lost work"],
+        rows,
+        title=(
+            f"{args.method} job: {args.work:g} h work, interval "
+            f"{args.interval:g} s, node MTBF {args.node_mtbf:g} h"
+            + (", overlapped" if args.overlap else "")
+        ),
+    ))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .experiments import MethodSpec, PairedJobStudy
+
+    methods = []
+    for name in args.methods:
+        overlap = name.endswith("+overlap")
+        base = name.removesuffix("+overlap")
+        methods.append(MethodSpec(base, incremental=not args.full,
+                                  overlap=overlap, label=name))
+    study = PairedJobStudy(
+        methods=methods,
+        work=args.work * 3600.0,
+        interval=args.interval,
+        node_mtbf=args.node_mtbf * 3600.0,
+        repair_time=args.repair,
+        seeds=args.seeds,
+        n_nodes=args.nodes,
+        vms_per_node=args.vms_per_node,
+    )
+    outcome = study.run()
+    print(outcome.summary_table())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .model import estimate_expected_time, expected_time_with_overhead
+
+    rng = np.random.default_rng(args.seed)
+    T = args.job * 3600.0
+    rows = []
+    worst = 0.0
+    for mtbf_h in (0.5, 1.0, 2.0, 4.0):
+        lam = 1.0 / (mtbf_h * 3600.0)
+        N = max(60.0, (2 * args.overhead / lam) ** 0.5)
+        analytic = expected_time_with_overhead(lam, T, N, args.overhead, args.repair)
+        mc = estimate_expected_time(
+            rng, lam, T, N, args.overhead, args.repair, n_runs=args.runs
+        )
+        err = abs(mc.mean - analytic) / analytic
+        worst = max(worst, err)
+        rows.append([
+            f"{mtbf_h:g}h",
+            format_seconds(N),
+            format_seconds(analytic),
+            format_seconds(mc.mean),
+            f"{err * 100:.2f}%",
+            "yes" if mc.within(analytic) else "NO",
+        ])
+    print(render_table(
+        ["MTBF", "interval", "closed form", "Monte-Carlo", "rel err",
+         "within 3 sigma"],
+        rows,
+        title=f"Section V equations vs Monte-Carlo ({args.runs} runs each)",
+    ))
+    return 0 if worst < 0.05 else 1
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .cluster import measure_xor_bandwidth
+
+    bw = measure_xor_bandwidth(args.size, repeats=args.repeats)
+    print(f"streaming XOR bandwidth: {format_bytes(bw)}/s")
+    print(f"model input: ClusterModel(memory_xor_bandwidth={bw:.3g})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="DVDC paper reproduction toolkit"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    f5 = sub.add_parser("fig5", help="reproduce Fig. 5 analytically")
+    f5.add_argument("--mtbf", type=float, default=3.0, help="cluster MTBF, hours")
+    f5.add_argument("--job", type=float, default=48.0, help="job length, hours")
+    f5.add_argument("--nodes", type=int, default=4)
+    f5.add_argument("--vms-per-node", type=int, default=3)
+    f5.add_argument("--dirty-rate", type=float, default=2e5,
+                    help="per-VM dirty rate, bytes/s")
+    f5.add_argument("--plot", action="store_true", help="ASCII curve")
+    f5.set_defaults(func=_cmd_fig5)
+
+    ep = sub.add_parser("epoch", help="run one checkpoint epoch")
+    ep.add_argument("--arch", choices=["dvdc", "diskful", "checkpoint-node",
+                                       "firstshot"], default="dvdc")
+    ep.add_argument("--nodes", type=int, default=4)
+    ep.add_argument("--vms-per-node", type=int, default=3)
+    ep.add_argument("--seed", type=int, default=0)
+    ep.set_defaults(func=_cmd_epoch)
+
+    jb = sub.add_parser("job", help="end-to-end checkpointed job")
+    jb.add_argument("--method", choices=["dvdc", "diskful"], default="dvdc")
+    jb.add_argument("--work", type=float, default=4.0, help="hours")
+    jb.add_argument("--interval", type=float, default=600.0, help="seconds")
+    jb.add_argument("--node-mtbf", type=float, default=6.0, help="hours")
+    jb.add_argument("--repair", type=float, default=30.0, help="seconds")
+    jb.add_argument("--seeds", type=int, default=3)
+    jb.add_argument("--overlap", action="store_true")
+    jb.set_defaults(func=_cmd_job)
+
+    stu = sub.add_parser("study", help="paired multi-method comparison")
+    stu.add_argument("--methods", nargs="+",
+                     default=["dvdc", "diskful"],
+                     help="dvdc diskful dvdc_rdp checkpoint_node first_shot; "
+                          "append +overlap for latency-hiding execution")
+    stu.add_argument("--work", type=float, default=4.0, help="hours")
+    stu.add_argument("--interval", type=float, default=600.0, help="seconds")
+    stu.add_argument("--node-mtbf", type=float, default=6.0, help="hours")
+    stu.add_argument("--repair", type=float, default=30.0, help="seconds")
+    stu.add_argument("--seeds", type=int, default=5)
+    stu.add_argument("--nodes", type=int, default=4)
+    stu.add_argument("--vms-per-node", type=int, default=3)
+    stu.add_argument("--full", action="store_true",
+                     help="full-image capture instead of incremental")
+    stu.set_defaults(func=_cmd_study)
+
+    va = sub.add_parser("validate", help="equations vs Monte-Carlo")
+    va.add_argument("--job", type=float, default=8.0, help="hours")
+    va.add_argument("--overhead", type=float, default=120.0, help="T_ov, s")
+    va.add_argument("--repair", type=float, default=60.0, help="T_r, s")
+    va.add_argument("--runs", type=int, default=4000)
+    va.add_argument("--seed", type=int, default=0)
+    va.set_defaults(func=_cmd_validate)
+
+    ca = sub.add_parser("calibrate", help="measure host XOR bandwidth")
+    ca.add_argument("--size", type=int, default=1 << 24, help="buffer bytes")
+    ca.add_argument("--repeats", type=int, default=3)
+    ca.set_defaults(func=_cmd_calibrate)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Page-granular VM memory images with dirty tracking.
+
+A :class:`MemoryImage` is the functional stand-in for a Xen/KVM guest
+memory image: a flat byte buffer divided into fixed-size pages, with a
+dirty bitmap maintained exactly the way a hypervisor's log-dirty mode
+would — every write marks its pages, and checkpoint/migration code
+reads-and-clears the bitmap.
+
+Incremental checkpoints are :class:`PageDelta` objects — the "only the
+changed pages are needed" representation from Section II-B (Plank's
+incremental variant), applied here at hypervisor level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MemoryImage", "PageDelta", "DEFAULT_PAGE_SIZE"]
+
+#: x86 small page.
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class PageDelta:
+    """A set of whole pages captured from an image.
+
+    ``indices`` are page numbers (sorted, unique); ``pages`` is the
+    matching ``(len(indices), page_size)`` uint8 array.  A delta applied
+    to the image state it was diffed against reproduces the newer state.
+    """
+
+    page_size: int
+    n_pages_total: int
+    indices: np.ndarray  # int64, sorted unique
+    pages: np.ndarray  # uint8, shape (len(indices), page_size)
+
+    def __post_init__(self) -> None:
+        if self.pages.shape != (len(self.indices), self.page_size):
+            raise ValueError(
+                f"pages shape {self.pages.shape} != ({len(self.indices)}, {self.page_size})"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size (page data only; index overhead is negligible)."""
+        return int(self.pages.nbytes)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.indices)
+
+    def apply_to(self, flat: np.ndarray) -> None:
+        """Patch ``flat`` (the full image buffer) in place."""
+        view = flat.reshape(self.n_pages_total, self.page_size)
+        view[self.indices] = self.pages
+
+
+class MemoryImage:
+    """Byte-addressable paged memory with hypervisor-style dirty logging.
+
+    Parameters
+    ----------
+    n_pages:
+        Number of pages in the image.
+    page_size:
+        Bytes per page.
+    fill:
+        Initial byte value, or ``None`` to leave zeroed.
+
+    Notes
+    -----
+    The image is deliberately small-scale-friendly: functional tests run
+    images of a few hundred pages, while timing models carry a separate
+    *logical* size.  Nothing in the parity/recovery code path depends on
+    the image being small — the same kernels run at any size.
+    """
+
+    def __init__(self, n_pages: int, page_size: int = DEFAULT_PAGE_SIZE, fill: int | None = None):
+        if n_pages < 1:
+            raise ValueError(f"need >= 1 page, got {n_pages}")
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self.n_pages = int(n_pages)
+        self.page_size = int(page_size)
+        self._flat = np.zeros(n_pages * page_size, dtype=np.uint8)
+        if fill:
+            self._flat[:] = fill
+        self._dirty = np.zeros(n_pages, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self._flat.nbytes
+
+    @property
+    def pages(self) -> np.ndarray:
+        """(n_pages, page_size) view — no copy."""
+        return self._flat.reshape(self.n_pages, self.page_size)
+
+    @property
+    def flat(self) -> np.ndarray:
+        """Flat uint8 view — no copy."""
+        return self._flat
+
+    # ------------------------------------------------------------------
+    # guest writes
+    # ------------------------------------------------------------------
+    def write(self, addr: int, data: bytes | np.ndarray) -> None:
+        """Write bytes at ``addr``, marking every touched page dirty."""
+        buf = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
+            data, (bytes, bytearray)
+        ) else np.asarray(data, dtype=np.uint8).reshape(-1)
+        end = addr + len(buf)
+        if addr < 0 or end > self.nbytes:
+            raise IndexError(f"write [{addr}, {end}) outside image of {self.nbytes} bytes")
+        self._flat[addr:end] = buf
+        first = addr // self.page_size
+        last = (end - 1) // self.page_size
+        self._dirty[first : last + 1] = True
+
+    def fill_page(self, index: int, value: int) -> None:
+        """Overwrite one page with a constant (fast workload writes)."""
+        self.pages[index] = value
+        self._dirty[index] = True
+
+    def touch_pages(self, indices: np.ndarray, rng: np.random.Generator | None = None) -> None:
+        """Dirty the given pages; with an rng, also scribble random bytes
+        into the first 8 bytes of each (cheap content change so deltas
+        are non-trivial in functional tests)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if len(idx) == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.n_pages:
+            raise IndexError(f"page index outside [0, {self.n_pages})")
+        self._dirty[idx] = True
+        if rng is not None:
+            stamp = rng.integers(0, 256, size=(len(idx), 8), dtype=np.uint8)
+            self.pages[idx, :8] = stamp
+
+    def read(self, addr: int, length: int) -> np.ndarray:
+        if addr < 0 or addr + length > self.nbytes:
+            raise IndexError(f"read [{addr}, {addr + length}) outside image")
+        return self._flat[addr : addr + length].copy()
+
+    # ------------------------------------------------------------------
+    # dirty logging (hypervisor side)
+    # ------------------------------------------------------------------
+    @property
+    def dirty_page_indices(self) -> np.ndarray:
+        return np.flatnonzero(self._dirty)
+
+    @property
+    def dirty_page_count(self) -> int:
+        return int(self._dirty.sum())
+
+    @property
+    def dirty_bytes(self) -> int:
+        return self.dirty_page_count * self.page_size
+
+    def clear_dirty(self) -> None:
+        self._dirty[:] = False
+
+    def mark_all_dirty(self) -> None:
+        self._dirty[:] = True
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    def snapshot(self) -> np.ndarray:
+        """Full copy of the image contents (a *full* checkpoint payload)."""
+        return self._flat.copy()
+
+    def capture_delta(self, clear: bool = True) -> PageDelta:
+        """Capture currently-dirty pages as a :class:`PageDelta`.
+
+        With ``clear`` (the normal checkpoint path) the dirty log resets,
+        beginning the next epoch — the read-and-clear that log-dirty
+        hypervisor modes perform atomically at checkpoint time.
+        """
+        idx = self.dirty_page_indices
+        pages = self.pages[idx].copy()
+        if clear:
+            self.clear_dirty()
+        return PageDelta(
+            page_size=self.page_size,
+            n_pages_total=self.n_pages,
+            indices=idx.astype(np.int64),
+            pages=pages,
+        )
+
+    def restore(self, payload: np.ndarray) -> None:
+        """Overwrite the whole image from a full snapshot; clears dirty."""
+        buf = np.asarray(payload, dtype=np.uint8).reshape(-1)
+        if buf.nbytes != self.nbytes:
+            raise ValueError(f"payload {buf.nbytes}B != image {self.nbytes}B")
+        self._flat[:] = buf
+        self.clear_dirty()
+
+    def apply_delta(self, delta: PageDelta) -> None:
+        """Patch the image with a delta; clears dirty bits of the pages."""
+        if delta.n_pages_total != self.n_pages or delta.page_size != self.page_size:
+            raise ValueError("delta geometry does not match image")
+        delta.apply_to(self._flat)
+        self._dirty[delta.indices] = False
+
+    def equals(self, other: "MemoryImage") -> bool:
+        return (
+            self.n_pages == other.n_pages
+            and self.page_size == other.page_size
+            and bool(np.array_equal(self._flat, other._flat))
+        )

@@ -1,0 +1,69 @@
+"""The three architecture variants of Section IV as ready-made factories.
+
+Each returns a :class:`~repro.core.dvdc.DisklessCheckpointer` wired to
+the corresponding layout:
+
+* :func:`first_shot` — Fig. 1: one VM per node, one N-member group,
+  fan-in to a dedicated parity node;
+* :func:`checkpoint_node` — Fig. 3: orthogonal groups, all parity
+  concentrated on one dedicated checkpointing node;
+* :func:`dvdc` — Fig. 4: orthogonal groups, parity rotated across all
+  compute nodes (the paper's Distributed Virtual Diskless Checkpointing).
+"""
+
+from __future__ import annotations
+
+from ..checkpoint.base import CaptureStrategy
+from ..checkpoint.compression import NO_COMPRESSION, CompressionModel
+from ..cluster.cluster import VirtualCluster
+from ..sim import NULL_TRACER, Tracer
+from .dvdc import DEFAULT_XOR_BANDWIDTH, DisklessCheckpointer
+from .groups import layout_checkpoint_node, layout_dvdc, layout_firstshot
+
+__all__ = ["first_shot", "checkpoint_node", "dvdc"]
+
+
+def first_shot(
+    cluster: VirtualCluster,
+    parity_node: int | None = None,
+    strategy: CaptureStrategy | None = None,
+    compression: CompressionModel = NO_COMPRESSION,
+    xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
+    tracer: Tracer = NULL_TRACER,
+) -> DisklessCheckpointer:
+    """Fig. 1 — the "first-shot" N+1 architecture."""
+    layout = layout_firstshot(cluster, parity_node)
+    return DisklessCheckpointer(
+        cluster, layout, strategy, compression, xor_bandwidth, tracer
+    )
+
+
+def checkpoint_node(
+    cluster: VirtualCluster,
+    node_id: int,
+    group_size: int | None = None,
+    strategy: CaptureStrategy | None = None,
+    compression: CompressionModel = NO_COMPRESSION,
+    xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
+    tracer: Tracer = NULL_TRACER,
+) -> DisklessCheckpointer:
+    """Fig. 3 — orthogonal RAID with a dedicated checkpointing node."""
+    layout = layout_checkpoint_node(cluster, node_id, group_size)
+    return DisklessCheckpointer(
+        cluster, layout, strategy, compression, xor_bandwidth, tracer
+    )
+
+
+def dvdc(
+    cluster: VirtualCluster,
+    group_size: int | None = None,
+    strategy: CaptureStrategy | None = None,
+    compression: CompressionModel = NO_COMPRESSION,
+    xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
+    tracer: Tracer = NULL_TRACER,
+) -> DisklessCheckpointer:
+    """Fig. 4 — Distributed Virtual Diskless Checkpointing."""
+    layout = layout_dvdc(cluster, group_size)
+    return DisklessCheckpointer(
+        cluster, layout, strategy, compression, xor_bandwidth, tracer
+    )

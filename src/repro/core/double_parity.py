@@ -1,0 +1,611 @@
+"""Double-parity diskless checkpointing (the RDP extension).
+
+Section II-B2 points at the road past single parity: "Wang et al
+recently implemented RDP codes, which tolerate up to two simultaneous
+failures, and found favorable results."  This module carries the DVDC
+architecture to that regime: each RAID group stores *two* parity shards
+— RDP row parity and diagonal parity — on two distinct nodes that host
+none of the group's members.  Any two simultaneous node failures are
+then survivable, closing the degraded-window data-loss mode the
+single-parity protocol exhibits under dense failures (see
+EXPERIMENTS.md, completion-rate note).
+
+Costs relative to single-parity DVDC:
+
+* storage — two parity images per group instead of one (2/k overhead);
+* traffic — each member's capture is shipped to *both* parity nodes
+  (2× exchange traffic);
+* CPU — row parity is the same XOR; diagonal parity is a comparable
+  second pass (charged at the same byte rate).
+
+The protocol here uses full captures per epoch (RDP's diagonal parity
+does not admit the sparse in-place delta update XOR row parity enjoys;
+incremental double-parity would need P/Q-style logging, noted as future
+work in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..checkpoint.base import CaptureStrategy, CheckpointCycleResult
+from ..checkpoint.coordinator import CoordinatedCheckpoint
+from ..checkpoint.strategies import ForkedCapture
+from ..cluster.cluster import VirtualCluster
+from ..cluster.images import CheckpointImage, CheckpointKind, ParityBlock
+from ..cluster.vm import VMState
+from ..sim import AllOf, NULL_TRACER, Resource, Tracer
+from .dvdc import DEFAULT_XOR_BANDWIDTH
+from .groups import LayoutError
+from ..network.link import NetworkError
+from .parity import RDPCode
+from .recovery import DisklessRecoveryReport
+
+__all__ = [
+    "DoubleParityGroup",
+    "DoubleParityLayout",
+    "build_double_parity_layout",
+    "DoubleParityCheckpointer",
+]
+
+
+@dataclass(frozen=True)
+class DoubleParityGroup:
+    """A RAID group protected by RDP: members + (row, diagonal) nodes."""
+
+    group_id: int
+    member_vm_ids: tuple[int, ...]
+    row_parity_node: int
+    diag_parity_node: int
+
+    def __post_init__(self) -> None:
+        if self.row_parity_node == self.diag_parity_node:
+            raise LayoutError(
+                f"group {self.group_id}: the two parity shards must live "
+                "on distinct nodes"
+            )
+
+    @property
+    def size(self) -> int:
+        return len(self.member_vm_ids)
+
+    @property
+    def parity_nodes(self) -> tuple[int, int]:
+        return (self.row_parity_node, self.diag_parity_node)
+
+
+@dataclass
+class DoubleParityLayout:
+    """Partition of VMs into RDP-protected groups."""
+
+    groups: list[DoubleParityGroup] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._group_of: dict[int, DoubleParityGroup] = {}
+        for g in self.groups:
+            for vm_id in g.member_vm_ids:
+                if vm_id in self._group_of:
+                    raise LayoutError(f"vm {vm_id} appears in two groups")
+                self._group_of[vm_id] = g
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    @property
+    def vm_ids(self) -> list[int]:
+        return sorted(self._group_of)
+
+    def group_of(self, vm_id: int) -> DoubleParityGroup:
+        try:
+            return self._group_of[vm_id]
+        except KeyError:
+            raise LayoutError(f"vm {vm_id} is not in any group") from None
+
+
+def build_double_parity_layout(
+    cluster: VirtualCluster, group_size: int
+) -> DoubleParityLayout:
+    """Greedy orthogonal grouping with two rotating parity homes.
+
+    Needs ``group_size + 2`` distinct nodes per group: members on
+    ``group_size`` nodes, row and diagonal parity on two further nodes.
+    Parity assignments rotate to balance load.
+    """
+    if group_size < 1:
+        raise LayoutError(f"group_size must be >= 1, got {group_size}")
+    if group_size + 2 > cluster.n_nodes:
+        raise LayoutError(
+            f"double parity with group_size {group_size} needs at least "
+            f"{group_size + 2} nodes; cluster has {cluster.n_nodes}"
+        )
+    by_node: dict[int, list[int]] = {}
+    for vm in cluster.all_vms:
+        if vm.node_id is None:
+            raise LayoutError(f"vm {vm.vm_id} is not hosted anywhere")
+        by_node.setdefault(vm.node_id, []).append(vm.vm_id)
+    for ids in by_node.values():
+        ids.sort()
+
+    groups: list[DoubleParityGroup] = []
+    parity_count: dict[int, int] = {n.node_id: 0 for n in cluster.nodes}
+    gid = 0
+    while any(by_node.values()):
+        order = sorted(by_node, key=lambda n: (-len(by_node[n]), n))
+        donors = [n for n in order if by_node[n]][:group_size]
+        member_ids = tuple(by_node[n].pop(0) for n in donors)
+        member_nodes = set(donors)
+        eligible = sorted(
+            (n.node_id for n in cluster.nodes if n.node_id not in member_nodes),
+            key=lambda n: (parity_count[n], n),
+        )
+        if len(eligible) < 2:
+            raise LayoutError(
+                f"group {gid}: cannot place two parity shards off the "
+                f"{len(member_nodes)} member nodes"
+            )
+        row_node, diag_node = eligible[0], eligible[1]
+        parity_count[row_node] += 1
+        parity_count[diag_node] += 1
+        groups.append(DoubleParityGroup(gid, member_ids, row_node, diag_node))
+        gid += 1
+    return DoubleParityLayout(groups)
+
+
+class DoubleParityCheckpointer:
+    """RDP-protected diskless checkpointing: survives any two
+    simultaneous node failures.
+
+    Cycle: coordinated capture → every member ships its image to *both*
+    parity nodes → row node XORs, diagonal node computes RDP diagonals →
+    two-phase commit.  Recovery handles one or two failed nodes at once:
+    all losses within a group (members and/or parity shards, ≤ 2) are
+    rebuilt via :class:`~repro.core.parity.RDPCode.reconstruct`.
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        layout: DoubleParityLayout,
+        strategy: CaptureStrategy | None = None,
+        xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.cluster = cluster
+        self.layout = layout
+        self.strategy = strategy or ForkedCapture()
+        self.xor_bandwidth = float(xor_bandwidth)
+        self.tracer = tracer
+        self.coordinator = CoordinatedCheckpoint(cluster, self.strategy, tracer)
+        self.epoch = 0
+        self.committed_epoch = -1
+        self.last_cycle_at: float | None = None
+        self._engines = {
+            n.node_id: Resource(cluster.sim, capacity=1) for n in cluster.nodes
+        }
+        self._codes = {
+            g.group_id: RDPCode(g.size) for g in layout.groups
+        }
+
+    # ------------------------------------------------------------------
+    def _group_cycle(self, group, outcomes, result, staged, staged_commits):
+        sim = self.cluster.sim
+        images = [outcomes[v].image for v in group.member_vm_ids if v in outcomes]
+        if not images:
+            return
+        flows = []
+        total = 0.0
+        for img in images:
+            vm = self.cluster.vm(img.vm_id)
+            assert vm.node_id is not None
+            total += img.logical_bytes
+            result.network_bytes += 2 * img.logical_bytes
+            for target, tag in (
+                (group.row_parity_node, "row"),
+                (group.diag_parity_node, "diag"),
+            ):
+                flows.append(
+                    self.cluster.topology.transfer(
+                        vm.node_id, target, img.logical_bytes,
+                        label=f"rdp.g{group.group_id}.vm{img.vm_id}.{tag}",
+                    )
+                )
+        try:
+            yield AllOf(sim, flows)
+        except NetworkError:
+            return  # epoch aborts via the failure check at commit
+
+        # parity computation on both nodes, concurrently, each serialized
+        # against other groups using the same node
+        def compute_on(node_id):
+            engine = self._engines[node_id]
+            req = engine.request()
+            yield req
+            try:
+                yield sim.timeout(total / self.xor_bandwidth)
+            finally:
+                engine.release()
+
+        yield AllOf(sim, [
+            sim.process(compute_on(group.row_parity_node)),
+            sim.process(compute_on(group.diag_parity_node)),
+        ])
+        result.parity_bytes += 2 * total
+
+        functional = all(img.payload is not None for img in images)
+        row_data = diag_data = None
+        if functional and len(images) == group.size:
+            code = self._codes[group.group_id]
+            row_data, diag_data = code.encode(
+                [img.payload_flat() for img in images]
+            )
+        logical = max(img.logical_bytes for img in images)
+        staged[group.group_id] = (
+            ParityBlock(group.group_id, self.epoch, group.member_vm_ids,
+                        logical, data=row_data),
+            ParityBlock(group.group_id, self.epoch, group.member_vm_ids,
+                        logical, data=diag_data),
+        )
+        for img in images:
+            staged_commits[img.vm_id] = img
+
+    def run_cycle(self):
+        """Process: one coordinated RDP checkpoint epoch."""
+        sim = self.cluster.sim
+        start = sim.now
+        epoch = self.epoch
+        failure_snapshot = self.cluster.failure_epoch
+        elapsed = (start - self.last_cycle_at) if self.last_cycle_at else start
+        vms = [
+            self.cluster.vm(v)
+            for v in self.layout.vm_ids
+            if self.cluster.vm(v).state != VMState.FAILED
+        ]
+        outcomes_list, pause = yield from self.coordinator.capture_all(
+            vms, epoch, elapsed
+        )
+        outcomes = {o.image.vm_id: o for o in outcomes_list}
+        result = CheckpointCycleResult(epoch=epoch, started_at=start, overhead=pause)
+        staged: dict[int, tuple[ParityBlock, ParityBlock]] = {}
+        staged_commits: dict[int, CheckpointImage] = {}
+        procs = [
+            sim.process(self._group_cycle(g, outcomes, result, staged, staged_commits))
+            for g in self.layout.groups
+        ]
+        if procs:
+            yield AllOf(sim, procs)
+        # commit (abort if any node died mid-cycle)
+        if self.cluster.failure_epoch != failure_snapshot:
+            result.latency = sim.now - start
+            result.committed = False
+            self.tracer.emit(sim.now, "rdp.cycle_aborted", epoch=epoch)
+            return result
+        for group in self.layout.groups:
+            if group.group_id not in staged:
+                continue
+            row, diag = staged[group.group_id]
+            self.cluster.node(group.row_parity_node).store_parity(row)
+            # the diagonal shard keyed separately: offset id space
+            diag_key = -(group.group_id + 1)
+            diag.group_id = diag_key
+            self.cluster.node(group.diag_parity_node).parity_store[diag_key] = diag
+            diag.stored_on_node = group.diag_parity_node
+        for vm_id, image in staged_commits.items():
+            vm = self.cluster.vm(vm_id)
+            if vm.node_id is not None:
+                self.cluster.hypervisor(vm.node_id).commit_checkpoint(image)
+                vm.epoch = epoch
+        self.committed_epoch = epoch
+        self.epoch += 1
+        self.last_cycle_at = sim.now
+        result.latency = sim.now - start
+        result.committed = True
+        self.tracer.emit(sim.now, "rdp.cycle", epoch=epoch, latency=result.latency)
+        return result
+
+    # ------------------------------------------------------------------
+    def _shards_for(self, group) -> tuple[list, list]:
+        """Collect surviving member payloads and parity shards."""
+        members = []
+        for v in group.member_vm_ids:
+            vm = self.cluster.vm(v)
+            if vm.node_id is None:
+                members.append(None)
+                continue
+            img = self.cluster.hypervisor(vm.node_id).committed(v)
+            members.append(None if img is None or img.payload is None
+                           else img.payload_flat())
+        row_node = self.cluster.node(group.row_parity_node)
+        diag_node = self.cluster.node(group.diag_parity_node)
+        row = (
+            row_node.parity_store.get(group.group_id)
+            if row_node.alive else None
+        )
+        diag = (
+            diag_node.parity_store.get(-(group.group_id + 1))
+            if diag_node.alive else None
+        )
+        parity = [
+            None if row is None or row.data is None else row.data,
+            None if diag is None or diag.data is None else diag.data,
+        ]
+        return members, parity
+
+    def _recover_group(self, group, lost_set, report: DisklessRecoveryReport):
+        """Process: rebuild a group's lost members (≤ 2) via RDP."""
+        sim = self.cluster.sim
+        lost_members = [v for v in group.member_vm_ids if v in lost_set]
+        members, parity = self._shards_for(group)
+        n_missing = sum(1 for m in members if m is None) + sum(
+            1 for p in parity if p is None
+        )
+        if n_missing > 2:
+            raise RuntimeError(
+                f"group {group.group_id}: {n_missing} shards lost — beyond "
+                "RDP's double-erasure tolerance"
+            )
+        # choose a staging node: prefer a surviving parity node
+        staging = None
+        for node_id in group.parity_nodes:
+            if self.cluster.node(node_id).alive:
+                staging = node_id
+                break
+        if staging is None:
+            staging = self.cluster.alive_nodes[0].node_id
+        # survivors + surviving parity ship to the staging node
+        flows = []
+        moved = 0.0
+        vm_bytes = max(self.cluster.vm(v).memory_bytes for v in group.member_vm_ids)
+        for v, payload in zip(group.member_vm_ids, members):
+            vm = self.cluster.vm(v)
+            if payload is None or vm.node_id is None or vm.node_id == staging:
+                continue
+            flows.append(self.cluster.topology.transfer(
+                vm.node_id, staging, vm.memory_bytes,
+                label=f"rdp.rebuild.g{group.group_id}.vm{v}",
+            ))
+            moved += vm.memory_bytes
+        for node_id, shard in zip(group.parity_nodes, parity):
+            if shard is None or node_id == staging:
+                continue
+            if self.cluster.node(node_id).alive:
+                flows.append(self.cluster.topology.transfer(
+                    node_id, staging, vm_bytes,
+                    label=f"rdp.rebuild.g{group.group_id}.parity",
+                ))
+                moved += vm_bytes
+        if flows:
+            try:
+                yield AllOf(sim, flows)
+            except NetworkError:
+                return  # retried by the queued failure's recovery
+        report.network_bytes += moved
+        # decode cost: one pass over the full group
+        decode_bytes = vm_bytes * (group.size + 2)
+        engine = self._engines[staging]
+        req = engine.request()
+        yield req
+        try:
+            yield sim.timeout(decode_bytes / self.xor_bandwidth)
+        finally:
+            engine.release()
+        report.xor_bytes += decode_bytes
+
+        rebuilt_all = None
+        if all(p is not None or v in lost_set
+               for v, p in zip(group.member_vm_ids, members)):
+            functional_ok = all(
+                m is not None
+                for v, m in zip(group.member_vm_ids, members)
+                if v not in lost_set
+            )
+            if functional_ok:
+                code = self._codes[group.group_id]
+                try:
+                    nbytes = next(
+                        m.shape[0] for m in members if m is not None
+                    )
+                except StopIteration:
+                    nbytes = None
+                rebuilt_all = code.reconstruct(members, parity, nbytes=nbytes)
+
+        # place + restore lost members
+        member_nodes = {
+            self.cluster.vm(v).node_id
+            for v in group.member_vm_ids
+            if self.cluster.vm(v).node_id is not None
+        }
+        for idx, v in enumerate(group.member_vm_ids):
+            if v not in lost_set:
+                continue
+            vm = self.cluster.vm(v)
+            candidates = [
+                n for n in self.cluster.alive_nodes
+                if n.node_id not in member_nodes
+                and n.node_id not in group.parity_nodes
+            ] or [n for n in self.cluster.alive_nodes
+                  if n.node_id not in member_nodes] or self.cluster.alive_nodes
+            target = min(candidates, key=lambda n: (len(n.vms), n.node_id)).node_id
+            if target != staging:
+                flow = self.cluster.topology.transfer(
+                    staging, target, vm.memory_bytes,
+                    label=f"rdp.restore.vm{v}",
+                )
+                report.network_bytes += vm.memory_bytes
+                try:
+                    yield flow
+                except NetworkError:
+                    continue  # this VM stays failed; retried later
+            self.cluster.place_failed_vm(v, target)
+            member_nodes.add(target)
+            payload = rebuilt_all[idx] if rebuilt_all is not None else None
+            image = CheckpointImage(
+                vm_id=v, epoch=self.committed_epoch, kind=CheckpointKind.FULL,
+                logical_bytes=vm.memory_bytes, captured_at=sim.now,
+                payload=payload, meta={"reconstructed": True},
+            )
+            hv = self.cluster.hypervisor(target)
+            if payload is not None or vm.image is None:
+                hv.restore(vm, image)
+            else:
+                vm.revive()
+            hv.commit_checkpoint(image)
+            report.reconstructed[v] = target
+
+        # re-encode any lost parity shard onto a fresh node
+        yield from self._reencode_if_needed(group, report)
+
+    def _reencode_if_needed(self, group, report: DisklessRecoveryReport):
+        sim = self.cluster.sim
+        members, parity = self._shards_for(group)
+        if all(m is not None for m in members) and any(p is None for p in parity):
+            # recompute both shards where missing
+            member_nodes = {
+                self.cluster.vm(v).node_id for v in group.member_vm_ids
+            }
+            taken = set()
+            new_nodes = list(group.parity_nodes)
+            for i, p in enumerate(parity):
+                if p is not None and self.cluster.node(group.parity_nodes[i]).alive:
+                    taken.add(group.parity_nodes[i])
+            for i, p in enumerate(parity):
+                if p is not None and self.cluster.node(group.parity_nodes[i]).alive:
+                    continue
+                candidates = [
+                    n.node_id for n in self.cluster.alive_nodes
+                    if n.node_id not in member_nodes and n.node_id not in taken
+                ] or [n.node_id for n in self.cluster.alive_nodes
+                      if n.node_id not in taken]
+                node_id = candidates[0]
+                taken.add(node_id)
+                new_nodes[i] = node_id
+                # ship members there and recompute
+                flows = []
+                total = 0.0
+                for v in group.member_vm_ids:
+                    vm = self.cluster.vm(v)
+                    if vm.node_id != node_id:
+                        flows.append(self.cluster.topology.transfer(
+                            vm.node_id, node_id, vm.memory_bytes,
+                            label=f"rdp.reencode.g{group.group_id}",
+                        ))
+                        total += vm.memory_bytes
+                if flows:
+                    try:
+                        yield AllOf(sim, flows)
+                    except NetworkError:
+                        return  # retried later
+                report.network_bytes += total
+                engine = self._engines[node_id]
+                req = engine.request()
+                yield req
+                try:
+                    yield sim.timeout(
+                        total / self.xor_bandwidth if total else 0.0
+                    )
+                finally:
+                    engine.release()
+                report.xor_bytes += total
+            # recompute functional shards if possible
+            payloads = [
+                self.cluster.hypervisor(self.cluster.vm(v).node_id)
+                .committed(v)
+                for v in group.member_vm_ids
+            ]
+            functional = all(
+                img is not None and img.payload is not None for img in payloads
+            )
+            row_data = diag_data = None
+            if functional:
+                code = self._codes[group.group_id]
+                row_data, diag_data = code.encode(
+                    [img.payload_flat() for img in payloads]
+                )
+            logical = max(
+                self.cluster.vm(v).memory_bytes for v in group.member_vm_ids
+            )
+            row = ParityBlock(group.group_id, self.committed_epoch,
+                              group.member_vm_ids, logical, data=row_data)
+            diag = ParityBlock(-(group.group_id + 1), self.committed_epoch,
+                               group.member_vm_ids, logical, data=diag_data)
+            self.cluster.node(new_nodes[0]).store_parity(row)
+            self.cluster.node(new_nodes[1]).parity_store[-(group.group_id + 1)] = diag
+            diag.stored_on_node = new_nodes[1]
+            # update layout
+            idx = next(
+                i for i, g in enumerate(self.layout.groups)
+                if g.group_id == group.group_id
+            )
+            new_group = DoubleParityGroup(
+                group.group_id, group.member_vm_ids, new_nodes[0], new_nodes[1]
+            )
+            self.layout.groups[idx] = new_group
+            for v in group.member_vm_ids:
+                self.layout._group_of[v] = new_group
+            report.reencoded_groups.append(group.group_id)
+
+    def recover(self, *failed_node_ids: int):
+        """Process: recover from one or *two* simultaneous node crashes."""
+        sim = self.cluster.sim
+        start = sim.now
+        if self.committed_epoch < 0:
+            raise RuntimeError("no committed checkpoint epoch to recover from")
+        report = DisklessRecoveryReport(
+            failed_node=failed_node_ids[0] if failed_node_ids else -1
+        )
+        lost_set = {
+            vm.vm_id
+            for vm in self.cluster.all_vms
+            if vm.state == VMState.FAILED and vm.node_id is None
+        }
+        procs = []
+        handled_groups = set()
+        for vm_id in sorted(lost_set):
+            group = self.layout.group_of(vm_id)
+            if group.group_id in handled_groups:
+                continue
+            handled_groups.add(group.group_id)
+            procs.append(sim.process(self._recover_group(group, lost_set, report)))
+        # groups that lost parity only
+        for group in self.layout.groups:
+            if group.group_id in handled_groups:
+                continue
+            row_alive = self.cluster.node(group.row_parity_node).alive
+            diag_alive = self.cluster.node(group.diag_parity_node).alive
+            if not (row_alive and diag_alive):
+                procs.append(sim.process(self._reencode_if_needed(group, report)))
+        # survivor rollback
+        for vm_id in self.layout.vm_ids:
+            if vm_id not in lost_set:
+                procs.append(sim.process(self._rollback(vm_id, report)))
+        if procs:
+            yield AllOf(sim, procs)
+        report.recovery_time = sim.now - start
+        report.restored_epoch = self.committed_epoch
+        self.tracer.emit(
+            sim.now, "rdp.recovery", nodes=list(failed_node_ids),
+            duration=report.recovery_time,
+        )
+        return report
+
+    def _rollback(self, vm_id: int, report: DisklessRecoveryReport):
+        vm = self.cluster.vm(vm_id)
+        if vm.node_id is None or vm.state == VMState.FAILED:
+            return
+        hv = self.cluster.hypervisor(vm.node_id)
+        image = hv.committed(vm_id)
+        if image is None:
+            raise RuntimeError(f"vm {vm_id} has no committed checkpoint")
+        if vm.state == VMState.RUNNING:
+            vm.pause()
+        yield self.cluster.sim.timeout(vm.memory_bytes / self.xor_bandwidth)
+        if vm.node_id is None or vm.state == VMState.FAILED:
+            return
+        hv.restore(vm, image)
+        if vm.state == VMState.PAUSED:
+            vm.resume()
+        report.rolled_back.append(vm_id)

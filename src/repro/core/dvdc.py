@@ -1,0 +1,639 @@
+"""The diskless checkpoint protocol over a RAID group layout.
+
+:class:`DisklessCheckpointer` implements the checkpoint and recovery
+protocols of Section IV for *any* :class:`~repro.core.groups.GroupLayout`
+— the Fig. 1 first-shot layout, the Fig. 3 dedicated-checkpoint-node
+layout, and the Fig. 4 DVDC layout are the same protocol pointed at
+different parity placements (that observation is the paper's own
+narrative arc).  Convenience constructors for the three architectures
+live in :mod:`repro.core.architectures`.
+
+Checkpoint cycle (one epoch):
+
+1. **capture** — coordinated barrier pause (strategy-dependent cost);
+2. **exchange** — each member streams its (compressed) capture to its
+   group's parity node.  Under the Fig. 4 layout these flows ride
+   disjoint NIC pairs and proceed in parallel; under Figs. 1/3 they
+   fan into one node and serialize — the architectural contrast the
+   model quantifies;
+3. **parity** — the parity node XORs the member data into a *staged*
+   parity block (one XOR engine per node: concurrent groups with parity
+   on the same node serialize, distributed parity parallelizes —
+   Section IV-B's "relieve the CPU burden by a factor linear in the
+   amount of machines");
+4. **commit** — two-phase: staged parity blocks and captured member
+   images replace the previous epoch everywhere, atomically at the
+   commit timestamp.  Until then the previous epoch remains fully
+   recoverable.
+
+Incremental epochs move only dirty data: members ship the XOR-delta
+``old ⊕ new`` of their dirty pages and the parity node folds it into
+the staged copy of the previous parity — the RAID-5 small-write
+optimization applied to checkpoints.
+
+Recovery (after a node crash): every surviving VM rolls back to its
+local in-memory checkpoint (a memory copy — no disk, no network); each
+group that lost a member rebuilds it from survivors + parity at the
+parity node and ships the image to a replacement node; groups that lost
+their parity block re-encode onto a new node.  See
+:class:`~repro.core.recovery.DisklessRecoveryReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..checkpoint.base import CaptureOutcome, CaptureStrategy, CheckpointCycleResult
+from ..checkpoint.compression import NO_COMPRESSION, CompressionModel
+from ..checkpoint.coordinator import CoordinatedCheckpoint
+from ..checkpoint.strategies import ForkedCapture
+from ..cluster.cluster import VirtualCluster
+from ..cluster.images import CheckpointImage, CheckpointKind, ParityBlock
+from ..cluster.memory import PageDelta
+from ..cluster.vm import VMState
+from ..cluster.xorsum import xor_reduce_padded
+from ..network.link import NetworkError
+from ..sim import AllOf, NULL_TRACER, Resource, Tracer
+from .groups import GroupLayout, RaidGroup
+from .recovery import DisklessRecoveryReport, choose_parity_node, choose_restore_node
+
+__all__ = ["DisklessCheckpointer", "DisklessCycleResult", "DEFAULT_XOR_BANDWIDTH"]
+
+#: In-memory XOR throughput default (bytes/second) — DDR3-era streaming.
+DEFAULT_XOR_BANDWIDTH = 4e9
+
+
+@dataclass
+class DisklessCycleResult(CheckpointCycleResult):
+    """Cycle accounting plus the per-node parity workload split."""
+
+    xor_seconds_by_node: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def max_node_xor_seconds(self) -> float:
+        return max(self.xor_seconds_by_node.values(), default=0.0)
+
+    @property
+    def total_xor_seconds(self) -> float:
+        return sum(self.xor_seconds_by_node.values())
+
+
+class DisklessCheckpointer:
+    """Diskless checkpoint/recovery over a group layout."""
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        layout: GroupLayout,
+        strategy: CaptureStrategy | None = None,
+        compression: CompressionModel = NO_COMPRESSION,
+        xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if xor_bandwidth <= 0:
+            raise ValueError(f"xor_bandwidth must be > 0, got {xor_bandwidth}")
+        self.cluster = cluster
+        self.layout = layout
+        self.strategy = strategy or ForkedCapture()
+        self.compression = compression
+        self.xor_bandwidth = xor_bandwidth
+        self.tracer = tracer
+        self.coordinator = CoordinatedCheckpoint(cluster, self.strategy, tracer)
+        self.epoch = 0
+        self.committed_epoch = -1
+        self.last_cycle_at: float | None = None
+        self.history: list[DisklessCycleResult] = []
+        # one parity/XOR engine per node: groups sharing a parity node
+        # serialize their XOR work there
+        self._xor_engines = {
+            n.node_id: Resource(cluster.sim, capacity=1) for n in cluster.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # checkpoint cycle
+    # ------------------------------------------------------------------
+    def _xor_delta_payload(
+        self, old: CheckpointImage, new: CheckpointImage
+    ) -> PageDelta | None:
+        """For functional incremental captures: pages of ``old ⊕ new``
+        restricted to the dirty set (what actually crosses the wire)."""
+        if not isinstance(new.payload, PageDelta):
+            return None
+        delta: PageDelta = new.payload
+        old_pages = old.payload_flat().reshape(
+            delta.n_pages_total, delta.page_size
+        )
+        xored = np.bitwise_xor(old_pages[delta.indices], delta.pages)
+        return PageDelta(
+            page_size=delta.page_size,
+            n_pages_total=delta.n_pages_total,
+            indices=delta.indices,
+            pages=xored,
+        )
+
+    def _group_cycle(
+        self,
+        group: RaidGroup,
+        outcomes: dict[int, CaptureOutcome],
+        result: DisklessCycleResult,
+        staged: dict[int, ParityBlock],
+        staged_commits: dict[int, CheckpointImage],
+    ):
+        """Process: exchange + parity for one group."""
+        sim = self.cluster.sim
+        flows = []
+        member_images: list[CheckpointImage] = []
+        xor_deltas: dict[int, PageDelta] = {}
+        raw_bytes = 0.0
+        for vm_id in group.member_vm_ids:
+            if vm_id not in outcomes:  # VM failed before capture
+                continue
+            o = outcomes[vm_id]
+            vm = self.cluster.vm(vm_id)
+            assert vm.node_id is not None
+            member_images.append(o.image)
+            # functional incremental: precompute old⊕new before commit
+            if o.image.kind == CheckpointKind.INCREMENTAL and o.image.payload is not None:
+                hv = self.cluster.hypervisor(vm.node_id)
+                old = hv.committed(vm_id)
+                if old is None or old.payload is None:
+                    raise RuntimeError(
+                        f"vm {vm_id}: incremental epoch without committed base"
+                    )
+                xd = self._xor_delta_payload(old, o.image)
+                if xd is not None:
+                    xor_deltas[vm_id] = xd
+            wire = self.compression.output_bytes(o.image.logical_bytes)
+            raw_bytes += o.image.logical_bytes
+            result.network_bytes += wire
+            flows.append(
+                self.cluster.topology.transfer(
+                    vm.node_id,
+                    group.parity_node,
+                    wire,
+                    label=f"dvdc.g{group.group_id}.vm{vm_id}.e{o.image.epoch}",
+                )
+            )
+        if not member_images:
+            return
+        if flows:
+            try:
+                yield AllOf(sim, flows)
+            except NetworkError:
+                # a node died mid-exchange; this epoch will be aborted by
+                # the failure-epoch guard — contribute nothing
+                return
+
+        # XOR at the parity node (serialized per node across groups)
+        engine = self._xor_engines[group.parity_node]
+        req = engine.request()
+        yield req
+        try:
+            xor_time = raw_bytes / self.xor_bandwidth
+            if xor_time > 0:
+                yield sim.timeout(xor_time)
+        finally:
+            engine.release()
+        result.parity_bytes += raw_bytes
+        result.xor_seconds_by_node[group.parity_node] = (
+            result.xor_seconds_by_node.get(group.parity_node, 0.0)
+            + raw_bytes / self.xor_bandwidth
+        )
+
+        # stage the new parity block (functional when payloads exist)
+        data: np.ndarray | None = None
+        functional = all(img.payload is not None for img in member_images)
+        if functional:
+            if any(img.kind == CheckpointKind.INCREMENTAL for img in member_images):
+                prev = self.cluster.node(group.parity_node).parity_store.get(
+                    group.group_id
+                )
+                if prev is None or prev.data is None:
+                    raise RuntimeError(
+                        f"group {group.group_id}: incremental parity update "
+                        "without a previous parity block"
+                    )
+                data = prev.data.copy()
+                for img in member_images:
+                    if img.kind == CheckpointKind.INCREMENTAL:
+                        xd = xor_deltas[img.vm_id]
+                        if data.shape[0] != xd.n_pages_total * xd.page_size:
+                            raise RuntimeError(
+                                "incremental epochs require homogeneous "
+                                "image sizes within a group; use full/"
+                                "forked capture for heterogeneous groups"
+                            )
+                        view = data.reshape(xd.n_pages_total, xd.page_size)
+                        # note: fancy indexing yields copies — assign back
+                        view[xd.indices] = np.bitwise_xor(view[xd.indices], xd.pages)
+                    else:  # a full capture mixed in (e.g. post-recovery)
+                        raise RuntimeError(
+                            "mixed full/incremental captures within one group "
+                            "epoch are not supported; run a full epoch first"
+                        )
+            else:
+                data = xor_reduce_padded(
+                    [img.payload_flat() for img in member_images]
+                )
+        logical = max(img.logical_bytes for img in member_images)
+        full_logical = max(
+            self.cluster.vm(v).memory_bytes for v in group.member_vm_ids
+        )
+        staged[group.group_id] = ParityBlock(
+            group_id=group.group_id,
+            epoch=self.epoch,
+            member_vm_ids=group.member_vm_ids,
+            logical_bytes=full_logical if logical < full_logical else logical,
+            data=data,
+        )
+        for img in member_images:
+            staged_commits[img.vm_id] = img
+
+    def run_cycle(self, pause_done=None):
+        """Process: one coordinated diskless checkpoint epoch.
+
+        Returns a :class:`DisklessCycleResult`.  Overhead is the barrier
+        pause; latency runs until the commit point (all parity staged).
+
+        ``pause_done`` — optional :class:`~repro.sim.process.SimEvent`
+        succeeded the moment the capture barrier lifts and guests resume.
+        Overlapped runners (``CheckpointedJob(overlap=True)``) wait on it
+        to restart useful work while the exchange/XOR completes in the
+        background — the latency-vs-overhead separation the paper argues
+        diskless checkpointing is really about.
+
+        Two-phase safety: if any node fails between capture and commit,
+        the whole epoch is *aborted* (``result.committed == False``) and
+        the previous epoch remains the recovery point.  The caller must
+        run recovery (which rolls every VM back) before the next cycle.
+        """
+        sim = self.cluster.sim
+        start = sim.now
+        epoch = self.epoch
+        failure_snapshot = self.cluster.failure_epoch
+        elapsed = (start - self.last_cycle_at) if self.last_cycle_at is not None else start
+        vms = [
+            self.cluster.vm(v)
+            for v in self.layout.vm_ids
+            if self.cluster.vm(v).state != VMState.FAILED
+        ]
+        outcomes_list, pause = yield from self.coordinator.capture_all(
+            vms, epoch, elapsed
+        )
+        outcomes = {o.image.vm_id: o for o in outcomes_list}
+        if pause_done is not None and not pause_done.triggered:
+            pause_done.succeed(pause)
+        result = DisklessCycleResult(epoch=epoch, started_at=start, overhead=pause)
+        for o in outcomes_list:
+            result.per_vm_pause[o.image.vm_id] = o.pause_seconds
+
+        staged: dict[int, ParityBlock] = {}
+        staged_commits: dict[int, CheckpointImage] = {}
+        group_procs = [
+            sim.process(
+                self._group_cycle(g, outcomes, result, staged, staged_commits)
+            )
+            for g in self.layout.groups
+        ]
+        if group_procs:
+            yield AllOf(sim, group_procs)
+
+        # ---- commit point: atomic swap of the whole epoch ----
+        if self.cluster.failure_epoch != failure_snapshot:
+            # a node died mid-cycle: abort; previous epoch stays valid
+            result.latency = sim.now - start
+            result.committed = False
+            self.history.append(result)
+            self.tracer.emit(sim.now, "diskless.cycle_aborted", epoch=epoch)
+            return result
+        for group_id, block in staged.items():
+            group = next(g for g in self.layout.groups if g.group_id == group_id)
+            self.cluster.node(group.parity_node).store_parity(block)
+        for vm_id, image in staged_commits.items():
+            vm = self.cluster.vm(vm_id)
+            if vm.node_id is None:
+                continue
+            self.cluster.hypervisor(vm.node_id).commit_checkpoint(image)
+            vm.epoch = epoch
+        self.committed_epoch = epoch
+        self.epoch += 1
+        self.last_cycle_at = sim.now
+        result.latency = sim.now - start
+        result.committed = True
+        self.history.append(result)
+        self.tracer.emit(
+            sim.now, "diskless.cycle", epoch=epoch, overhead=result.overhead,
+            latency=result.latency, network_bytes=result.network_bytes,
+            parity_bytes=result.parity_bytes,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _rollback_survivor(self, vm_id: int, report: DisklessRecoveryReport):
+        """Process: in-memory rollback of one surviving VM."""
+        vm = self.cluster.vm(vm_id)
+        if vm.node_id is None or vm.state == VMState.FAILED:
+            return
+        hv = self.cluster.hypervisor(vm.node_id)
+        image = hv.committed(vm_id)
+        if image is None:
+            raise RuntimeError(f"vm {vm_id} has no committed local checkpoint")
+        if vm.state == VMState.RUNNING:
+            vm.pause()
+        # in-memory restore: a local memcpy
+        yield self.cluster.sim.timeout(
+            vm.memory_bytes / self.xor_bandwidth
+        )
+        if vm.node_id is None or vm.state == VMState.FAILED:
+            return  # node died mid-rollback; requeued failure handles it
+        hv.restore(vm, image)
+        # resume unconditionally: the VM may have been left paused by an
+        # interrupted checkpoint barrier when the failure struck
+        if vm.state == VMState.PAUSED:
+            vm.resume()
+        report.rolled_back.append(vm_id)
+
+    def _rebuild_member(
+        self, group: RaidGroup, lost_vm_id: int, report: DisklessRecoveryReport
+    ):
+        """Process: reconstruct one lost member from survivors + parity."""
+        sim = self.cluster.sim
+        parity_node = group.parity_node
+        pnode = self.cluster.node(parity_node)
+        block = pnode.parity_store.get(group.group_id)
+        if block is None or not pnode.alive:
+            raise RuntimeError(
+                f"group {group.group_id}: parity block unavailable on node "
+                f"{parity_node} — unrecoverable with single parity"
+            )
+        survivors = [v for v in group.member_vm_ids if v != lost_vm_id]
+        flows = []
+        survivor_payloads = []
+        total_bytes = 0.0
+        for v in survivors:
+            vm = self.cluster.vm(v)
+            if vm.node_id is None:
+                raise RuntimeError(
+                    f"group {group.group_id}: survivor vm {v} also lost — "
+                    "double failure exceeds XOR parity"
+                )
+            hv = self.cluster.hypervisor(vm.node_id)
+            img = hv.committed(v)
+            if img is None:
+                raise RuntimeError(f"survivor vm {v} has no committed checkpoint")
+            nbytes = self.cluster.vm(v).memory_bytes
+            total_bytes += nbytes
+            report.network_bytes += nbytes
+            if img.payload is not None:
+                survivor_payloads.append(img.payload_flat())
+            if vm.node_id != parity_node:
+                flows.append(
+                    self.cluster.topology.transfer(
+                        vm.node_id, parity_node, nbytes,
+                        label=f"rebuild.g{group.group_id}.vm{v}",
+                    )
+                )
+        if flows:
+            try:
+                yield AllOf(sim, flows)
+            except NetworkError:
+                # another node died mid-rebuild; leave this VM failed —
+                # the queued failure's recovery pass retries the group
+                return
+        # XOR: survivors + parity
+        if not self.cluster.node(parity_node).alive:
+            raise RuntimeError(
+                f"group {group.group_id}: parity node {parity_node} died "
+                "during reconstruction — unrecoverable with single parity"
+            )
+        lost_vm = self.cluster.vm(lost_vm_id)
+        xor_bytes = total_bytes + lost_vm.memory_bytes
+        engine = self._xor_engines[parity_node]
+        req = engine.request()
+        yield req
+        try:
+            yield sim.timeout(xor_bytes / self.xor_bandwidth)
+        finally:
+            engine.release()
+        report.xor_bytes += xor_bytes
+
+        rebuilt: np.ndarray | None = None
+        if block.data is not None and len(survivor_payloads) == len(survivors):
+            acc = block.data.copy()
+            for p in survivor_payloads:
+                np.bitwise_xor(acc[: p.shape[0]], p, out=acc[: p.shape[0]])
+            rebuilt = (
+                acc[: lost_vm.image.nbytes].copy()
+                if lost_vm.image is not None
+                else acc
+            )
+
+        # ship the rebuilt image to its new home and restore
+        target = choose_restore_node(
+            self.cluster, self.layout, group, exclude={report.failed_node}
+        )
+        if target != parity_node:
+            flow = self.cluster.topology.transfer(
+                parity_node, target, lost_vm.memory_bytes,
+                label=f"restore.g{group.group_id}.vm{lost_vm_id}",
+            )
+            report.network_bytes += lost_vm.memory_bytes
+            try:
+                yield flow
+            except NetworkError:
+                return  # destination (or source) died; retried later
+        self.cluster.place_failed_vm(lost_vm_id, target)
+        hv = self.cluster.hypervisor(target)
+        image = CheckpointImage(
+            vm_id=lost_vm_id,
+            epoch=self.committed_epoch,
+            kind=CheckpointKind.FULL,
+            logical_bytes=lost_vm.memory_bytes,
+            captured_at=sim.now,
+            payload=rebuilt,
+            meta={"reconstructed": True},
+        )
+        if rebuilt is not None or lost_vm.image is None:
+            hv.restore(lost_vm, image)
+        else:  # functional VM but timing-only parity: revive without bytes
+            lost_vm.revive()
+        hv.commit_checkpoint(image)
+        report.reconstructed[lost_vm_id] = target
+        self.tracer.emit(
+            sim.now, "diskless.rebuild", vm=lost_vm_id, group=group.group_id,
+            target=target,
+        )
+
+    def _reencode_parity(self, group: RaidGroup, report: DisklessRecoveryReport):
+        """Process: rebuild a lost parity block on a fresh node."""
+        sim = self.cluster.sim
+        new_node = choose_parity_node(
+            self.cluster, self.layout, group, exclude={report.failed_node}
+        )
+        flows = []
+        payloads = []
+        total = 0.0
+        for v in group.member_vm_ids:
+            vm = self.cluster.vm(v)
+            if vm.node_id is None:
+                # a member just died too: the queued failure's recovery
+                # will rebuild it and re-encode this group afterwards
+                return
+            img = self.cluster.hypervisor(vm.node_id).committed(v)
+            if img is None:
+                raise RuntimeError(f"vm {v} has no committed checkpoint to re-encode")
+            total += vm.memory_bytes
+            report.network_bytes += vm.memory_bytes
+            if img.payload is not None:
+                payloads.append(img.payload_flat())
+            if vm.node_id != new_node:
+                flows.append(
+                    self.cluster.topology.transfer(
+                        vm.node_id, new_node, vm.memory_bytes,
+                        label=f"reencode.g{group.group_id}.vm{v}",
+                    )
+                )
+        if flows:
+            try:
+                yield AllOf(sim, flows)
+            except NetworkError:
+                return  # retried by the queued failure's recovery
+        engine = self._xor_engines[new_node]
+        req = engine.request()
+        yield req
+        try:
+            yield sim.timeout(total / self.xor_bandwidth)
+        finally:
+            engine.release()
+        report.xor_bytes += total
+        data = (
+            xor_reduce_padded(payloads)
+            if payloads and len(payloads) == len(group.member_vm_ids)
+            else None
+        )
+        block = ParityBlock(
+            group_id=group.group_id,
+            epoch=self.committed_epoch,
+            member_vm_ids=group.member_vm_ids,
+            logical_bytes=max(
+                self.cluster.vm(v).memory_bytes for v in group.member_vm_ids
+            ),
+            data=data,
+        )
+        self.cluster.node(new_node).store_parity(block)
+        # drop the superseded block from the previous home, if any
+        old_home = self.cluster.node(group.parity_node)
+        if old_home.alive and old_home.node_id != new_node:
+            old_home.parity_store.pop(group.group_id, None)
+        # the layout now points parity at the new node
+        self.layout.replace_group(
+            group.group_id, RaidGroup(group.group_id, group.member_vm_ids, new_node)
+        )
+        report.reencoded_groups.append(group.group_id)
+        self.tracer.emit(
+            sim.now, "diskless.reencode", group=group.group_id, node=new_node
+        )
+
+    def heal(self):
+        """Process: restore layout validity after node repairs.
+
+        Post-recovery placements can be *degraded*: with few nodes the
+        only place to restore a rebuilt VM is its group's parity node,
+        so one element of slack is gone until the crashed node returns.
+        ``heal`` scans for groups whose parity block is co-located with
+        a member (or missing/on a dead node) and re-encodes the parity
+        onto a strictly valid node when one exists.  Call it at
+        checkpoint boundaries once repairs have landed — the
+        :class:`~repro.workloads.app.CheckpointedJob` runner does.
+        """
+        healed: list[int] = []
+        for group in list(self.layout.groups):
+            pnode = self.cluster.node(group.parity_node)
+            member_nodes = {
+                self.cluster.vm(v).node_id
+                for v in group.member_vm_ids
+                if self.cluster.vm(v).node_id is not None
+            }
+            missing = (not pnode.alive) or group.group_id not in pnode.parity_store
+            colocated = group.parity_node in member_nodes
+            if not (missing or colocated):
+                continue
+            # only act when a strictly valid new home exists
+            valid = [
+                n
+                for n in self.cluster.alive_nodes
+                if n.node_id not in member_nodes and n.node_id != group.parity_node
+            ]
+            if not valid and not missing:
+                continue
+            if not valid and missing:
+                # parity truly lost and nowhere valid: degrade rather
+                # than leave the group unprotected
+                pass
+            report = DisklessRecoveryReport(failed_node=-1)
+            try:
+                yield from self._reencode_parity(group, report)
+            except RuntimeError:
+                continue
+            healed.append(group.group_id)
+        if healed:
+            self.tracer.emit(self.cluster.sim.now, "diskless.heal", groups=healed)
+        return healed
+
+    def recover(self, failed_node_id: int):
+        """Process: full DVDC recovery after ``failed_node_id`` crashed.
+
+        Phases run concurrently where independent: survivor rollbacks
+        (local memory copies), per-group member reconstruction, and
+        parity re-encoding.  Returns a
+        :class:`~repro.core.recovery.DisklessRecoveryReport`.
+        """
+        sim = self.cluster.sim
+        start = sim.now
+        if self.committed_epoch < 0:
+            raise RuntimeError("no committed checkpoint epoch to recover from")
+        report = DisklessRecoveryReport(failed_node=failed_node_id)
+
+        lost_vms = [
+            vm.vm_id
+            for vm in self.cluster.all_vms
+            if vm.state == VMState.FAILED and vm.node_id is None
+        ]
+        lost_set = set(lost_vms)
+        procs = []
+        # groups that lost a member
+        for vm_id in lost_vms:
+            group = self.layout.group_of(vm_id)
+            others_lost = [v for v in group.member_vm_ids if v in lost_set and v != vm_id]
+            if others_lost:
+                raise RuntimeError(
+                    f"group {group.group_id} lost {len(others_lost) + 1} members "
+                    "— beyond single-parity tolerance"
+                )
+            procs.append(sim.process(self._rebuild_member(group, vm_id, report)))
+        # groups whose parity block is missing anywhere (this crash, or a
+        # re-encode aborted by an earlier overlapping crash) and that
+        # lost no member this time
+        for group in self.layout.groups:
+            if any(v in lost_set for v in group.member_vm_ids):
+                continue
+            pnode = self.cluster.node(group.parity_node)
+            if (not pnode.alive) or group.group_id not in pnode.parity_store:
+                procs.append(sim.process(self._reencode_parity(group, report)))
+        # all surviving VMs roll back locally
+        for vm_id in self.layout.vm_ids:
+            if vm_id not in lost_set:
+                procs.append(sim.process(self._rollback_survivor(vm_id, report)))
+        if procs:
+            yield AllOf(sim, procs)
+        report.recovery_time = sim.now - start
+        report.restored_epoch = self.committed_epoch
+        self.tracer.emit(
+            sim.now, "diskless.recovery", node=failed_node_id,
+            duration=report.recovery_time, reconstructed=list(report.reconstructed),
+        )
+        return report

@@ -1,0 +1,173 @@
+"""Layout validation and failure-tolerance analysis.
+
+These checks are the executable form of Fig. 2's argument: grid the
+RAID groups across controllers (nodes) so that any single controller
+failure destroys at most one element per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import VirtualCluster
+from .groups import GroupLayout, LayoutError, RaidGroup, build_orthogonal_layout
+
+__all__ = [
+    "validate_layout",
+    "group_losses_if_node_fails",
+    "survives_single_node_failure",
+    "tolerable_node_failure_sets",
+    "rebalance_after_migration",
+    "LayoutReport",
+]
+
+
+@dataclass
+class LayoutReport:
+    """Result of :func:`validate_layout`."""
+
+    ok: bool
+    errors: list[str] = field(default_factory=list)
+    parity_load: dict[int, int] = field(default_factory=dict)
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            raise LayoutError("; ".join(self.errors))
+
+
+def validate_layout(
+    layout: GroupLayout,
+    cluster: VirtualCluster,
+    tolerance: int = 1,
+    domains=None,
+) -> LayoutReport:
+    """Check orthogonality and parity independence.
+
+    ``tolerance`` is the erasure capability of the parity code in use
+    (1 for XOR, 2 for RDP): a group may co-locate at most ``tolerance``
+    elements (members + parity) per node — or per failure *domain* when
+    a :class:`repro.failures.domains.FailureDomainMap` is given.
+    """
+    errors: list[str] = []
+
+    def unit_of(node_id: int) -> int:
+        return domains.domain_of(node_id) if domains is not None else node_id
+
+    unit_name = "domain" if domains is not None else "node"
+    for g in layout.groups:
+        nodes: list[int] = []
+        for vm_id in g.member_vm_ids:
+            vm = cluster.vm(vm_id)
+            if vm.node_id is None:
+                errors.append(f"group {g.group_id}: vm {vm_id} is homeless")
+                continue
+            nodes.append(vm.node_id)
+        # count elements (members + parity block) per failure unit
+        per_unit: dict[int, int] = {}
+        for n in nodes:
+            per_unit[unit_of(n)] = per_unit.get(unit_of(n), 0) + 1
+        pu = unit_of(g.parity_node)
+        per_unit[pu] = per_unit.get(pu, 0) + 1
+        for unit_id, count in per_unit.items():
+            if count > tolerance:
+                errors.append(
+                    f"group {g.group_id}: {count} elements on {unit_name} "
+                    f"{unit_id} exceeds tolerance {tolerance}"
+                )
+    return LayoutReport(ok=not errors, errors=errors, parity_load=layout.parity_load())
+
+
+def group_losses_if_node_fails(
+    layout: GroupLayout, cluster: VirtualCluster, node_id: int
+) -> dict[int, int]:
+    """Elements (members + parity) each group loses when ``node_id`` dies."""
+    losses: dict[int, int] = {}
+    for g in layout.groups:
+        n = sum(
+            1 for vm_id in g.member_vm_ids if cluster.vm(vm_id).node_id == node_id
+        )
+        if g.parity_node == node_id:
+            n += 1
+        if n:
+            losses[g.group_id] = n
+    return losses
+
+
+def survives_single_node_failure(
+    layout: GroupLayout, cluster: VirtualCluster, tolerance: int = 1
+) -> bool:
+    """True iff every possible single node crash is recoverable."""
+    return all(
+        max(group_losses_if_node_fails(layout, cluster, n.node_id).values(), default=0)
+        <= tolerance
+        for n in cluster.nodes
+    )
+
+
+def tolerable_node_failure_sets(
+    layout: GroupLayout, cluster: VirtualCluster, tolerance: int = 1, max_set: int = 2
+) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+    """Enumerate which node-failure combinations (up to ``max_set``
+    simultaneous crashes) are survivable.  Returns (survivable, fatal)."""
+    from itertools import combinations
+
+    node_ids = [n.node_id for n in cluster.nodes]
+    survivable: list[tuple[int, ...]] = []
+    fatal: list[tuple[int, ...]] = []
+    for r in range(1, max_set + 1):
+        for combo in combinations(node_ids, r):
+            worst = 0
+            for g in layout.groups:
+                loss = sum(
+                    1
+                    for vm_id in g.member_vm_ids
+                    if cluster.vm(vm_id).node_id in combo
+                )
+                if g.parity_node in combo:
+                    loss += 1
+                worst = max(worst, loss)
+            (survivable if worst <= tolerance else fatal).append(combo)
+    return survivable, fatal
+
+
+def rebalance_after_migration(
+    layout: GroupLayout, cluster: VirtualCluster, tolerance: int = 1
+) -> GroupLayout:
+    """After live migrations have moved VMs, rebuild any groups whose
+    constraints broke ("mixing up the distribution of VM's per physical
+    node", Section IV-A).
+
+    Groups still satisfying the constraints are kept verbatim (their
+    parity blocks stay valid — no re-encode needed); violated groups'
+    members are pooled and re-grouped.  The returned layout reuses
+    surviving group ids and appends fresh ids for rebuilt groups.
+    """
+    keep: list[RaidGroup] = []
+    pool_vm_ids: list[int] = []
+    for g in layout.groups:
+        per_node: dict[int, int] = {}
+        ok = True
+        for vm_id in g.member_vm_ids:
+            node = cluster.vm(vm_id).node_id
+            if node is None:
+                ok = False
+                continue
+            per_node[node] = per_node.get(node, 0) + 1
+        per_node[g.parity_node] = per_node.get(g.parity_node, 0) + 1
+        if ok and max(per_node.values()) <= tolerance:
+            keep.append(g)
+        else:
+            pool_vm_ids.extend(v for v in g.member_vm_ids)
+    if not pool_vm_ids:
+        return layout
+    pool_vms = [cluster.vm(v) for v in pool_vm_ids if cluster.vm(v).node_id is not None]
+    sizes = [g.size for g in layout.groups]
+    target_size = max(sizes) if sizes else 1
+    target_size = min(target_size, len({vm.node_id for vm in pool_vms}) or 1)
+    rebuilt = build_orthogonal_layout(cluster, target_size, parity="rotate", vms=pool_vms)
+    next_id = max((g.group_id for g in keep), default=-1) + 1
+    renumbered = [
+        RaidGroup(next_id + i, g.member_vm_ids, g.parity_node)
+        for i, g in enumerate(rebuilt.groups)
+    ]
+    return GroupLayout(keep + renumbered)

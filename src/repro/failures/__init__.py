@@ -1,0 +1,48 @@
+"""Failure modeling: distributions, injection, and MTBF arithmetic."""
+
+from .domains import FailureDomainMap, draw_domain_schedule, racks
+from .distributions import (
+    Bathtub,
+    Exponential,
+    FailureDistribution,
+    LogNormal,
+    Weibull,
+    from_mtbf,
+)
+from .injector import FailureEvent, FailureInjector, FailureSchedule, poisson_injector
+from .mtbf import (
+    PAPER_LAMBDA,
+    PAPER_MTBF_SECONDS,
+    checkpoint_viability,
+    expected_failures,
+    mtbf_from_rate,
+    node_mtbf_for_system,
+    probability_failure_free,
+    rate_from_mtbf,
+    system_mtbf,
+)
+
+__all__ = [
+    "FailureDistribution",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "Bathtub",
+    "from_mtbf",
+    "FailureDomainMap",
+    "racks",
+    "draw_domain_schedule",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureSchedule",
+    "poisson_injector",
+    "system_mtbf",
+    "node_mtbf_for_system",
+    "rate_from_mtbf",
+    "mtbf_from_rate",
+    "checkpoint_viability",
+    "expected_failures",
+    "probability_failure_free",
+    "PAPER_LAMBDA",
+    "PAPER_MTBF_SECONDS",
+]

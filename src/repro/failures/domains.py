@@ -1,0 +1,110 @@
+"""Failure domains: correlated node failures (racks, PDUs, switches).
+
+Fig. 2's argument is literally about *controller* domains: grid each
+RAID group across controllers so one controller failure costs each
+group at most one disk.  In a cluster the same correlation exists one
+level up — nodes share racks, power circuits, and top-of-rack switches,
+and those fail as units.  This module models it:
+
+* :class:`FailureDomainMap` — which node lives in which domain;
+* :func:`draw_domain_schedule` — a replayable schedule in which whole
+  domains crash at one instant (every member node fails
+  simultaneously);
+* domain-aware placement lives in :func:`repro.core.groups.\
+build_orthogonal_layout` (``domains=`` parameter): members of a group
+  are spread across *domains*, not merely nodes, so a full-rack loss
+  still costs each group at most one element — single-parity
+  recoverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distributions import FailureDistribution
+from .injector import FailureEvent, FailureSchedule
+
+__all__ = ["FailureDomainMap", "racks", "draw_domain_schedule"]
+
+
+@dataclass(frozen=True)
+class FailureDomainMap:
+    """Assignment of nodes to correlated failure domains.
+
+    ``assignment[node_id] == domain_id``.  Domains are dense integers
+    starting at 0.
+    """
+
+    assignment: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.assignment:
+            raise ValueError("need at least one node")
+        doms = set(self.assignment)
+        if doms != set(range(len(doms))):
+            raise ValueError(
+                f"domain ids must be dense 0..k-1, got {sorted(doms)}"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def n_domains(self) -> int:
+        return len(set(self.assignment))
+
+    def domain_of(self, node_id: int) -> int:
+        if not (0 <= node_id < self.n_nodes):
+            raise ValueError(f"node {node_id} out of range")
+        return self.assignment[node_id]
+
+    def nodes_in(self, domain_id: int) -> list[int]:
+        return [n for n, d in enumerate(self.assignment) if d == domain_id]
+
+    def domains(self) -> list[int]:
+        return sorted(set(self.assignment))
+
+
+def racks(n_nodes: int, nodes_per_rack: int) -> FailureDomainMap:
+    """Consecutive nodes grouped into racks of ``nodes_per_rack``."""
+    if n_nodes < 1 or nodes_per_rack < 1:
+        raise ValueError("n_nodes and nodes_per_rack must be >= 1")
+    return FailureDomainMap(
+        tuple(i // nodes_per_rack for i in range(n_nodes))
+    )
+
+
+def draw_domain_schedule(
+    rng: np.random.Generator,
+    dist: FailureDistribution,
+    domains: FailureDomainMap,
+    horizon: float,
+    repair_time: float = 0.0,
+) -> FailureSchedule:
+    """Replayable schedule of whole-domain crashes.
+
+    Each *domain* gets an independent renewal failure process from
+    ``dist`` (so ``dist``'s MTBF is the per-rack MTBF); at each domain
+    failure instant every node in the domain emits a simultaneous
+    :class:`FailureEvent`.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be > 0")
+    events: list[FailureEvent] = []
+    ordinals = [0] * domains.n_nodes
+    for domain in domains.domains():
+        t = 0.0
+        while True:
+            t += dist.sample(rng)
+            if t > horizon:
+                break
+            for node in domains.nodes_in(domain):
+                events.append(FailureEvent(time=t, node_id=node,
+                                           ordinal=ordinals[node]))
+                ordinals[node] += 1
+            t += repair_time
+    events.sort(key=lambda e: (e.time, e.node_id))
+    return FailureSchedule(events)

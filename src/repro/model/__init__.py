@@ -1,0 +1,94 @@
+"""Section V's analytical model: equations, overhead pipelines, optimal
+intervals, the Fig. 5 sweep, and Monte-Carlo corroboration."""
+
+from .memory import SCHEMES, MemoryFootprint, scheme_footprint
+from .montecarlo import (
+    MonteCarloEstimate,
+    estimate_expected_time,
+    simulate_completion_times,
+)
+from .optimal import (
+    OptimalInterval,
+    daly_interval,
+    find_optimal_interval,
+    young_interval,
+)
+from .overhead import (
+    DISKFUL_PAPER,
+    DISKLESS_PAPER,
+    PAPER_CLUSTER,
+    ClusterModel,
+    MethodConfig,
+    PipelineCosts,
+    diskful_costs,
+    diskless_costs,
+    overhead_function,
+)
+from .sensitivity import (
+    SensitivityResult,
+    poisson_sensitivity,
+    simulate_renewal_completion_times,
+)
+from .reliability import (
+    ReliabilityComparison,
+    compare_codes,
+    fatal_probability_per_failure,
+    job_survival_probability,
+    mttdl,
+)
+from .poisson import (
+    expected_failures,
+    expected_time_checkpointed,
+    expected_time_no_checkpoint,
+    expected_time_ratio,
+    expected_time_with_overhead,
+    paper_literal_eq1,
+    paper_literal_eq3,
+    paper_literal_overhead,
+    truncated_mean_failure_time,
+)
+from .ratio import PAPER_JOB_SECONDS, Fig5Result, Fig5Series, fig5, sweep_intervals
+
+__all__ = [
+    "expected_failures",
+    "truncated_mean_failure_time",
+    "expected_time_no_checkpoint",
+    "expected_time_checkpointed",
+    "expected_time_with_overhead",
+    "expected_time_ratio",
+    "paper_literal_eq1",
+    "paper_literal_eq3",
+    "paper_literal_overhead",
+    "ClusterModel",
+    "MethodConfig",
+    "PipelineCosts",
+    "diskful_costs",
+    "diskless_costs",
+    "overhead_function",
+    "DISKFUL_PAPER",
+    "DISKLESS_PAPER",
+    "PAPER_CLUSTER",
+    "young_interval",
+    "daly_interval",
+    "OptimalInterval",
+    "find_optimal_interval",
+    "Fig5Series",
+    "Fig5Result",
+    "fig5",
+    "sweep_intervals",
+    "PAPER_JOB_SECONDS",
+    "simulate_completion_times",
+    "estimate_expected_time",
+    "MonteCarloEstimate",
+    "MemoryFootprint",
+    "scheme_footprint",
+    "SCHEMES",
+    "fatal_probability_per_failure",
+    "mttdl",
+    "job_survival_probability",
+    "compare_codes",
+    "ReliabilityComparison",
+    "simulate_renewal_completion_times",
+    "poisson_sensitivity",
+    "SensitivityResult",
+]

@@ -1,0 +1,32 @@
+"""Network substrate: fluid-flow links, topologies, closed-form times."""
+
+from .link import Flow, Link, Network, NetworkError
+from .topology import (
+    DEFAULT_LATENCY,
+    DEFAULT_NAS_BANDWIDTH,
+    GBE_BANDWIDTH,
+    ClusterTopology,
+    SwitchedTopology,
+)
+from .transfer import (
+    distributed_exchange_time,
+    effective_bandwidth_fan_in,
+    fan_in_time,
+    pairwise_time,
+)
+
+__all__ = [
+    "Link",
+    "Flow",
+    "Network",
+    "NetworkError",
+    "ClusterTopology",
+    "SwitchedTopology",
+    "GBE_BANDWIDTH",
+    "DEFAULT_NAS_BANDWIDTH",
+    "DEFAULT_LATENCY",
+    "fan_in_time",
+    "distributed_exchange_time",
+    "pairwise_time",
+    "effective_bandwidth_fan_in",
+]

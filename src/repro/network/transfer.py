@@ -1,0 +1,90 @@
+"""Closed-form transfer-time estimates.
+
+The analytical model (:mod:`repro.model.overhead`) needs transfer times
+*without* running the simulator.  These helpers give the fluid-model
+completion times for the two traffic patterns that matter:
+
+* **fan-in** — N equal flows converging on one bottleneck link
+  (disk-full checkpointing into the NAS): every flow finishes together
+  at ``N·S / B_bottleneck`` when the bottleneck is the shared link;
+* **all-to-peers** — each node ships its data to distinct peers over its
+  own NIC (DVDC parity exchange): flows ride disjoint links and finish
+  at ``S / B_node`` — the "speedup linear in the number of machines"
+  claimed in Section V-B.
+
+All sizes in bytes, bandwidths in bytes/second, results in seconds.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "fan_in_time",
+    "distributed_exchange_time",
+    "pairwise_time",
+    "effective_bandwidth_fan_in",
+]
+
+
+def fan_in_time(
+    n_flows: int,
+    bytes_per_flow: float,
+    bottleneck_bandwidth: float,
+    sender_bandwidth: float | None = None,
+) -> float:
+    """Completion time of ``n_flows`` equal flows into one shared link.
+
+    If ``sender_bandwidth`` is given, each flow is additionally capped by
+    its private sender NIC; the bottleneck is whichever is tighter.
+    """
+    if n_flows < 1:
+        raise ValueError(f"need >= 1 flow, got {n_flows}")
+    if bytes_per_flow < 0:
+        raise ValueError(f"bytes must be >= 0, got {bytes_per_flow}")
+    if bottleneck_bandwidth <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {bottleneck_bandwidth}")
+    per_flow_rate = bottleneck_bandwidth / n_flows
+    if sender_bandwidth is not None:
+        per_flow_rate = min(per_flow_rate, sender_bandwidth)
+    return bytes_per_flow / per_flow_rate
+
+
+def effective_bandwidth_fan_in(
+    n_flows: int, bottleneck_bandwidth: float, sender_bandwidth: float | None = None
+) -> float:
+    """Per-flow rate under fan-in contention."""
+    rate = bottleneck_bandwidth / max(n_flows, 1)
+    if sender_bandwidth is not None:
+        rate = min(rate, sender_bandwidth)
+    return rate
+
+
+def distributed_exchange_time(
+    bytes_per_node: float,
+    node_bandwidth: float,
+    concurrent_streams_per_nic: int = 1,
+) -> float:
+    """Completion time of a balanced peer exchange.
+
+    Every node sends ``bytes_per_node`` through its own NIC; receivers are
+    spread so no link carries more than ``concurrent_streams_per_nic``
+    incoming streams.  With a balanced DVDC layout the NIC itself is the
+    constraint, so the exchange finishes in
+    ``bytes_per_node · streams / node_bandwidth``.
+    """
+    if bytes_per_node < 0:
+        raise ValueError(f"bytes must be >= 0, got {bytes_per_node}")
+    if node_bandwidth <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {node_bandwidth}")
+    if concurrent_streams_per_nic < 1:
+        raise ValueError("streams per NIC must be >= 1")
+    return bytes_per_node * concurrent_streams_per_nic / node_bandwidth
+
+
+def pairwise_time(nbytes: float, src_bandwidth: float, dst_bandwidth: float) -> float:
+    """Single point-to-point flow: limited by the slower NIC."""
+    if nbytes < 0:
+        raise ValueError(f"bytes must be >= 0, got {nbytes}")
+    bw = min(src_bandwidth, dst_bandwidth)
+    if bw <= 0:
+        raise ValueError("bandwidths must be > 0")
+    return nbytes / bw

@@ -1,0 +1,59 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`Simulator` — event heap and clock;
+* :class:`Process`, :class:`SimEvent`, :class:`Timeout`, :class:`Interrupt`,
+  :class:`AllOf`, :class:`AnyOf` — generator-coroutine process layer;
+* :class:`Resource`, :class:`Store`, :class:`Container` — shared resources;
+* :class:`RngRegistry` — named deterministic random streams;
+* :class:`Tracer` — optional event tracing.
+"""
+
+from .engine import (
+    LATE,
+    NORMAL,
+    URGENT,
+    EventHandle,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+)
+from .process import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    ProcessError,
+    SimEvent,
+    Timeout,
+)
+from .resources import Container, Resource, ResourceError, Store
+from .rng import RngRegistry, derive_seed
+from .trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "StopSimulation",
+    "EventHandle",
+    "URGENT",
+    "NORMAL",
+    "LATE",
+    "SimEvent",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "ProcessError",
+    "Resource",
+    "Store",
+    "Container",
+    "ResourceError",
+    "RngRegistry",
+    "derive_seed",
+    "Tracer",
+    "TraceRecord",
+    "NULL_TRACER",
+]

@@ -1,0 +1,268 @@
+"""Discrete-event simulation core.
+
+The engine is a classic event-heap simulator: callbacks are scheduled at
+absolute simulated times and executed in nondecreasing time order.  Ties
+are broken first by an integer *priority* (lower runs first) and then by
+insertion order, which makes runs fully deterministic for a fixed seed.
+
+Two programming styles sit on top of this module:
+
+* callback style — :meth:`Simulator.schedule` / :meth:`Simulator.at`
+* process style — generator coroutines driven by :mod:`repro.sim.process`
+
+The engine deliberately knows nothing about processes; it only fires
+:class:`EventHandle` callbacks.  This keeps the hot loop small (a single
+``heappop`` plus a function call) which matters for the Monte-Carlo
+validation runs that execute millions of events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+    "LATE",
+]
+
+#: Priority for bookkeeping callbacks that must run before same-time work.
+URGENT = 0
+#: Default priority.
+NORMAL = 1
+#: Priority for observers that must see the post-state of a timestamp.
+LATE = 2
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the simulator (e.g. time travel)."""
+
+
+class StopSimulation(Exception):
+    """Raised inside a callback to halt :meth:`Simulator.run` immediately."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    priority: int
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Instances are returned by :meth:`Simulator.schedule`; user code should
+    treat them as opaque except for :meth:`cancel` and :attr:`time`.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent; a no-op if the
+        event already fired."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled."""
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<EventHandle t={self.time:.6g} {name} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the simulated clock (seconds by convention
+        throughout this package).
+
+    Notes
+    -----
+    The clock only moves when :meth:`run` or :meth:`step` executes events;
+    scheduling is side-effect free.  All times are floats in seconds.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of callbacks executed so far (for tests/diagnostics)."""
+        return self._event_count
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be nonnegative and finite; zero-delay events run at
+        the current timestamp after the currently executing callback
+        returns, ordered by ``priority`` then FIFO.
+        """
+        if not (delay >= 0.0) or math.isinf(delay) or math.isnan(delay):
+            raise SimulationError(f"invalid delay {delay!r}; must be finite and >= 0")
+        return self.at(self._now + delay, fn, *args, priority=priority)
+
+    def at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6g} before now={self._now:.6g}"
+            )
+        handle = EventHandle(time, fn, args)
+        heapq.heappush(self._heap, _HeapEntry(time, priority, next(self._seq), handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns True if an event ran, False if the queue is empty.
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle.fired = True
+            self._event_count += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: float = math.inf, max_events: int | None = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        Returns the simulated time at which execution stopped.  When the
+        queue drains the clock stays at the last executed event; when
+        ``until`` is hit the clock is advanced to exactly ``until``.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                if entry.handle.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if entry.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = entry.time
+                entry.handle.fired = True
+                self._event_count += 1
+                try:
+                    entry.handle.fn(*entry.handle.args)
+                except StopSimulation:
+                    break
+                executed += 1
+            else:
+                # queue drained
+                if not math.isinf(until) and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        while self._heap and self._heap[0].handle.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else math.inf
+
+    def drain(self) -> int:
+        """Cancel every pending event; returns how many were cancelled."""
+        n = 0
+        for entry in self._heap:
+            if not entry.handle.cancelled and not entry.handle.fired:
+                entry.handle.cancel()
+                n += 1
+        self._heap.clear()
+        return n
+
+    # ------------------------------------------------------------------
+    # process-style convenience (implemented in repro.sim.process)
+    # ------------------------------------------------------------------
+    def process(self, generator) -> "Any":
+        """Spawn a generator coroutine as a simulation process.
+
+        Thin convenience wrapper; see :class:`repro.sim.process.Process`.
+        """
+        from .process import Process
+
+        return Process(self, generator)
+
+    def timeout(self, delay: float, value: Any = None) -> "Any":
+        """Create a :class:`repro.sim.process.Timeout` event."""
+        from .process import Timeout
+
+        return Timeout(self, delay, value)
+
+    def event(self) -> "Any":
+        """Create an untriggered :class:`repro.sim.process.SimEvent`."""
+        from .process import SimEvent
+
+        return SimEvent(self)
+
+    def run_processes(self, *generators: Iterable, until: float = math.inf) -> float:
+        """Spawn each generator as a process, then run to completion."""
+        for g in generators:
+            self.process(g)
+        return self.run(until=until)

@@ -1,0 +1,188 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover everything the cluster substrate needs:
+
+* :class:`Resource` — counting semaphore with FIFO queueing (CPU slots,
+  NAS service channels, per-node checkpoint agents);
+* :class:`Store` — unbounded FIFO of Python objects with blocking get
+  (message queues between hypervisors);
+* :class:`Container` — continuous-quantity tank with blocking put/get
+  (memory reservations for in-flight checkpoint buffers).
+
+All waits are ordinary :class:`~repro.sim.process.SimEvent` objects, so a
+process waiting on a resource can still be interrupted (the request is
+then abandoned and must be cancelled with the returned handle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from .engine import Simulator
+from .process import ProcessError, SimEvent
+
+__all__ = ["Resource", "Store", "Container", "ResourceError"]
+
+
+class ResourceError(RuntimeError):
+    """Misuse of a resource (e.g. releasing more than was acquired)."""
+
+
+class _Request(SimEvent):
+    """A pending acquisition; yielded by processes, cancellable."""
+
+    __slots__ = ("amount", "abandoned")
+
+    def __init__(self, sim: Simulator, amount: float = 1):
+        super().__init__(sim)
+        self.amount = amount
+        self.abandoned = False
+
+    def abandon(self) -> None:
+        """Withdraw an un-granted request (after an Interrupt)."""
+        self.abandoned = True
+
+
+class Resource:
+    """Counting semaphore with FIFO grant order.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ... hold the resource ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.in_use = 0
+        self._queue: Deque[_Request] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for r in self._queue if not r.abandoned)
+
+    def request(self) -> _Request:
+        """Return an event that succeeds once a unit is granted."""
+        req = _Request(self.sim)
+        if self.in_use < self.capacity and not self._queue:
+            self.in_use += 1
+            req.succeed(self)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self) -> None:
+        """Return one unit and grant it to the next FIFO waiter."""
+        if self.in_use <= 0:
+            raise ResourceError("release() without matching grant")
+        while self._queue:
+            nxt = self._queue.popleft()
+            if nxt.abandoned:
+                continue
+            nxt.succeed(self)  # unit transfers directly to the waiter
+            return
+        self.in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Resource {self.in_use}/{self.capacity} q={self.queue_length}>"
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks; ``get`` returns an event whose value is the
+    item.  Items are matched to getters FIFO-to-FIFO.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[_Request] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.abandoned:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> _Request:
+        req = _Request(self.sim)
+        if self._items:
+            req.succeed(self._items.popleft())
+        else:
+            self._getters.append(req)
+        return req
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of queued items (for tests and diagnostics)."""
+        return list(self._items)
+
+
+class Container:
+    """Continuous-quantity tank (e.g. bytes of spare RAM).
+
+    ``get(amount)`` blocks until the level covers the request; ``put``
+    raises if the level would exceed capacity.  Grants are FIFO: a large
+    blocked request blocks smaller later ones (no starvation).
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise ResourceError(f"capacity must be > 0, got {capacity}")
+        if not (0.0 <= init <= capacity):
+            raise ResourceError(f"init {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.level = float(init)
+        self._getters: Deque[_Request] = deque()
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise ResourceError(f"cannot put negative amount {amount}")
+        if self.level + amount > self.capacity + 1e-9:
+            raise ResourceError(
+                f"put({amount}) overflows capacity {self.capacity} (level {self.level})"
+            )
+        self.level = min(self.capacity, self.level + amount)
+        self._drain()
+
+    def get(self, amount: float) -> _Request:
+        if amount < 0:
+            raise ResourceError(f"cannot get negative amount {amount}")
+        if amount > self.capacity:
+            raise ResourceError(f"get({amount}) exceeds capacity {self.capacity}")
+        req = _Request(self.sim, amount)
+        self._getters.append(req)
+        self._drain()
+        return req
+
+    def _drain(self) -> None:
+        while self._getters:
+            head = self._getters[0]
+            if head.abandoned:
+                self._getters.popleft()
+                continue
+            if head.amount <= self.level + 1e-12:
+                self._getters.popleft()
+                self.level -= head.amount
+                head.succeed(head.amount)
+            else:
+                break

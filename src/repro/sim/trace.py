@@ -1,0 +1,89 @@
+"""Event tracing for simulations.
+
+A :class:`Tracer` collects timestamped, typed records during a run.
+Components emit records with :meth:`Tracer.emit`; analysis code filters
+them afterwards.  Tracing is optional everywhere — components accept a
+``tracer=None`` and the null tracer makes ``emit`` a no-op — so the hot
+Monte-Carlo loops pay nothing when tracing is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped occurrence.
+
+    ``kind`` is a dotted event type (``"checkpoint.commit"``,
+    ``"failure.node"``, ``"migration.downtime"`` …); ``data`` carries the
+    event payload as a plain dict.
+    """
+
+    time: float
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+class Tracer:
+    """Accumulates :class:`TraceRecord` objects with cheap filtering."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: float, kind: str, **data: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, kind, data))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def select(
+        self,
+        kind: str | None = None,
+        prefix: str | None = None,
+        where: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Filter records by exact kind, kind prefix, and/or predicate."""
+        out = self.records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if prefix is not None:
+            out = [r for r in out if r.kind.startswith(prefix)]
+        if where is not None:
+            out = [r for r in out if where(r)]
+        return list(out) if out is self.records else out
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def times(self, kind: str) -> list[float]:
+        return [r.time for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class _NullTracer(Tracer):
+    """Tracer that drops everything; shared singleton."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def emit(self, time: float, kind: str, **data: Any) -> None:  # noqa: D102
+        pass
+
+
+#: Shared do-nothing tracer; safe default argument.
+NULL_TRACER = _NullTracer()

@@ -1,0 +1,14 @@
+"""Storage substrate: disks and the shared NAS checkpoint store."""
+
+from .disk import DEFAULT_DISK_BANDWIDTH, DEFAULT_SEEK_TIME, Disk, DiskSpec
+from .nas import NAS, StorageError, StoredObject
+
+__all__ = [
+    "Disk",
+    "DiskSpec",
+    "DEFAULT_DISK_BANDWIDTH",
+    "DEFAULT_SEEK_TIME",
+    "NAS",
+    "StoredObject",
+    "StorageError",
+]

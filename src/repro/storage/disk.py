@@ -1,0 +1,106 @@
+"""Disk model: seek latency plus sequential bandwidth, one spindle.
+
+The disk is the component the paper singles out as "the main component
+that contributes to checkpointing overhead" (Section II-B2, citing
+Plank).  The model is intentionally simple — positioning time plus
+streaming time, FIFO service — because checkpoint images are large
+sequential writes for which rotational detail is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import NULL_TRACER, Resource, Simulator, Tracer
+
+__all__ = ["DiskSpec", "Disk"]
+
+#: 7.2k RPM nearline drive, ~2011 vintage (the paper's era).
+DEFAULT_DISK_BANDWIDTH = 120e6  # bytes/second sequential
+DEFAULT_SEEK_TIME = 8e-3  # seconds
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static performance parameters of a drive (or array).
+
+    ``bandwidth`` is sequential throughput in bytes/second; ``seek_time``
+    is the per-operation positioning cost; ``channels`` models an array
+    that can service that many operations concurrently at full bandwidth
+    each (a simple RAID-0/NVRAM-cache abstraction).
+    """
+
+    bandwidth: float = DEFAULT_DISK_BANDWIDTH
+    seek_time: float = DEFAULT_SEEK_TIME
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.seek_time < 0:
+            raise ValueError(f"seek_time must be >= 0, got {self.seek_time}")
+        if self.channels < 1:
+            raise ValueError(f"channels must be >= 1, got {self.channels}")
+
+    def service_time(self, nbytes: float) -> float:
+        """Time to service one request of ``nbytes`` with no queueing."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.seek_time + nbytes / self.bandwidth
+
+
+class Disk:
+    """A simulated drive with FIFO queueing across ``channels`` servers.
+
+    Use from a process::
+
+        yield from disk.write(nbytes)
+        data_time = yield from disk.read(nbytes)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: DiskSpec | None = None,
+        name: str = "disk",
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.sim = sim
+        self.spec = spec or DiskSpec()
+        self.name = name
+        self.tracer = tracer
+        self._servers = Resource(sim, capacity=self.spec.channels)
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+        self.ops = 0
+
+    def _io(self, nbytes: float, kind: str):
+        req = self._servers.request()
+        yield req
+        start = self.sim.now
+        try:
+            yield self.sim.timeout(self.spec.service_time(nbytes))
+        finally:
+            self._servers.release()
+        self.ops += 1
+        if kind == "write":
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+        self.tracer.emit(
+            self.sim.now, f"disk.{kind}", disk=self.name, nbytes=nbytes,
+            queued=start - self.sim.now + self.spec.service_time(nbytes),
+        )
+        return self.sim.now - start
+
+    def write(self, nbytes: float):
+        """Process generator: blocks for queueing + service time."""
+        return self._io(nbytes, "write")
+
+    def read(self, nbytes: float):
+        """Process generator: blocks for queueing + service time."""
+        return self._io(nbytes, "read")
+
+    @property
+    def queue_length(self) -> int:
+        return self._servers.queue_length

@@ -1,0 +1,56 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.analysis import render_timeline
+from repro.sim import Tracer
+
+
+def _traced_run():
+    tr = Tracer()
+    for t in (10.0, 20.0, 30.0):
+        tr.emit(t, "diskless.cycle", epoch=int(t // 10))
+    tr.emit(25.0, "failure.node", node=1)
+    tr.emit(26.0, "diskless.recovery", node=1)
+    tr.emit(28.0, "cluster.node_repaired", node=1)
+    return tr
+
+
+class TestTimeline:
+    def test_lanes_and_counts(self):
+        out = render_timeline(_traced_run(), width=60)
+        assert "checkpoint" in out
+        assert "failure" in out
+        assert "recovery" in out
+        assert "repair" in out
+        # checkpoint lane tallies 3 records
+        ckpt_line = next(l for l in out.splitlines() if "checkpoint" in l)
+        assert ckpt_line.rstrip().endswith("3")
+        strip = ckpt_line.split("|")[1]  # between the lane pipes
+        assert strip.count("c") == 3
+
+    def test_empty_tracer(self):
+        assert render_timeline(Tracer()) == "(no trace records)"
+
+    def test_silent_lanes_omitted(self):
+        tr = Tracer()
+        tr.emit(1.0, "failure.node", node=0)
+        out = render_timeline(tr)
+        assert "failure" in out
+        assert "checkpoint" not in out
+
+    def test_explicit_window(self):
+        tr = _traced_run()
+        out = render_timeline(tr, start=0.0, end=100.0, width=50)
+        assert "0" in out.splitlines()[-1]
+        assert "100" in out.splitlines()[-1]
+
+    def test_custom_lanes(self):
+        tr = Tracer()
+        tr.emit(5.0, "custom.thing", a=1)
+        out = render_timeline(tr, lanes=[("custom.", "mine", "#")])
+        assert "mine" in out and "#" in out
+
+    def test_degenerate_single_instant(self):
+        tr = Tracer()
+        tr.emit(7.0, "failure.node", node=0)
+        out = render_timeline(tr)
+        assert "X" in out

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.mtbf == 3.0
+        assert args.job == 48.0
+        assert not args.plot
+
+    def test_epoch_arch_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["epoch", "--arch", "bogus"])
+
+    def test_job_flags(self):
+        args = build_parser().parse_args(
+            ["job", "--method", "diskful", "--overlap", "--seeds", "2"]
+        )
+        assert args.method == "diskful"
+        assert args.overlap
+        assert args.seeds == 2
+
+
+class TestCommands:
+    def test_fig5_output(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "diskless" in out and "diskful" in out
+        assert "reduces expected completion time" in out
+
+    def test_fig5_plot(self, capsys):
+        assert main(["fig5", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "X" in out  # optima marks on the ASCII canvas
+
+    def test_epoch_all_architectures(self, capsys):
+        for arch in ("dvdc", "diskful", "checkpoint-node", "firstshot"):
+            assert main(["epoch", "--arch", arch]) == 0
+            out = capsys.readouterr().out
+            assert arch in out
+
+    def test_job_runs(self, capsys):
+        assert main([
+            "job", "--work", "0.5", "--seeds", "1", "--node-mtbf", "24",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "T/T_ideal" in out
+
+    def test_job_overlap_diskful(self, capsys):
+        assert main([
+            "job", "--method", "diskful", "--work", "0.5", "--seeds", "1",
+            "--node-mtbf", "24", "--overlap",
+        ]) == 0
+        assert "overlapped" in capsys.readouterr().out
+
+    def test_validate_passes(self, capsys):
+        assert main(["validate", "--runs", "800", "--job", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--size", str(1 << 20), "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "memory_xor_bandwidth" in out
+
+
+class TestStudyCommand:
+    def test_study_runs(self, capsys):
+        assert main([
+            "study", "--work", "0.5", "--seeds", "1",
+            "--node-mtbf", "48", "--methods", "dvdc", "diskful",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "paired study" in out
+        assert "dvdc" in out and "diskful" in out
+
+    def test_study_overlap_suffix(self, capsys):
+        assert main([
+            "study", "--work", "0.5", "--seeds", "1",
+            "--node-mtbf", "48", "--methods", "diskful+overlap",
+        ]) == 0
+        assert "diskful+overlap" in capsys.readouterr().out

@@ -1,0 +1,297 @@
+"""Tests for the diskless checkpoint protocol across all three
+architectures (Figs. 1, 3, 4): cycles, parity invariants, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import ForkedCapture, IncrementalCapture
+from repro.cluster import ClusterSpec, VirtualCluster, VMState, xor_reduce
+from repro.core import checkpoint_node, dvdc, first_shot, validate_layout
+
+from conftest import run_process
+
+
+def _parity_matches_committed(cluster, ck):
+    """The diskless safety invariant: every group's stored parity equals
+    the XOR of its members' committed checkpoint payloads."""
+    for g in ck.layout.groups:
+        block = cluster.node(g.parity_node).parity_store[g.group_id]
+        payloads = []
+        for v in g.member_vm_ids:
+            vm = cluster.vm(v)
+            payloads.append(
+                cluster.hypervisor(vm.node_id).committed(v).payload_flat()
+            )
+        if not np.array_equal(block.data, xor_reduce(payloads)):
+            return False
+    return True
+
+
+class TestDVDCCycle:
+    def test_full_epoch_commits_parity_everywhere(self, paper_cluster, sim):
+        ck = dvdc(paper_cluster)
+
+        def proc():
+            r = yield from ck.run_cycle()
+            return r
+
+        r = run_process(sim, proc())
+        assert r.committed
+        assert ck.committed_epoch == 0
+        assert _parity_matches_committed(paper_cluster, ck)
+        # parity work evenly distributed (Fig. 4): every node XORs
+        assert sorted(r.xor_seconds_by_node) == [0, 1, 2, 3]
+        vals = list(r.xor_seconds_by_node.values())
+        assert max(vals) == pytest.approx(min(vals))
+
+    def test_overhead_is_barrier_pause(self, paper_cluster, sim):
+        ck = dvdc(paper_cluster)
+
+        def proc():
+            r = yield from ck.run_cycle()
+            return r
+
+        r = run_process(sim, proc())
+        assert r.overhead == pytest.approx(0.12)  # 3 VMs/node x 40 ms
+
+    def test_latency_far_below_diskful(self, paper_cluster, sim):
+        """The headline qualitative claim: peer exchange beats NAS fan-in."""
+        ck = dvdc(paper_cluster)
+
+        def proc():
+            r = yield from ck.run_cycle()
+            return r
+
+        r = run_process(sim, proc())
+        # 3 GB per node over its own 125 MB/s NIC ~= 24 s  (diskful: ~230 s)
+        assert r.latency < 40.0
+
+    def test_incremental_epoch_moves_only_deltas(self, paper_cluster, sim):
+        ck = dvdc(paper_cluster, strategy=IncrementalCapture())
+
+        def proc():
+            yield from ck.run_cycle()
+            for vm in paper_cluster.all_vms:
+                vm.image.write(64, b"small change")
+            yield sim.timeout(10.0)
+            r1 = yield from ck.run_cycle()
+            return r1
+
+        r1 = run_process(sim, proc())
+        assert r1.network_bytes < 12e9 / 10
+        assert _parity_matches_committed(paper_cluster, ck)
+
+    def test_many_incremental_epochs_keep_invariant(self, paper_cluster, sim, rng):
+        ck = dvdc(paper_cluster, strategy=IncrementalCapture())
+
+        def proc():
+            yield from ck.run_cycle()
+            for _ in range(5):
+                for vm in paper_cluster.all_vms:
+                    vm.image.touch_pages(rng.integers(0, 32, 4), rng)
+                yield sim.timeout(5.0)
+                yield from ck.run_cycle()
+
+        run_process(sim, proc())
+        assert ck.committed_epoch == 5
+        assert _parity_matches_committed(paper_cluster, ck)
+
+    def test_history_accumulates(self, paper_cluster, sim):
+        ck = dvdc(paper_cluster)
+
+        def proc():
+            yield from ck.run_cycle()
+            yield from ck.run_cycle()
+
+        run_process(sim, proc())
+        assert [h.epoch for h in ck.history] == [0, 1]
+
+
+class TestDVDCRecovery:
+    def _checkpoint_then_kill(self, cluster, sim, ck, node, rng):
+        committed = {}
+
+        def proc():
+            yield from ck.run_cycle()
+            for vm in cluster.all_vms:
+                committed[vm.vm_id] = (
+                    cluster.hypervisor(vm.node_id).committed(vm.vm_id)
+                    .payload_flat().copy()
+                )
+                vm.image.touch_pages(rng.integers(0, 32, 3), rng)
+            cluster.kill_node(node)
+            rep = yield from ck.recover(node)
+            return rep
+
+        rep = run_process(sim, proc())
+        return rep, committed
+
+    def test_reconstruction_bit_exact(self, paper_cluster, sim, rng):
+        ck = dvdc(paper_cluster)
+        rep, committed = self._checkpoint_then_kill(paper_cluster, sim, ck, 2, rng)
+        assert sorted(rep.reconstructed) == [2, 6, 10]
+        for vm in paper_cluster.all_vms:
+            assert vm.state == VMState.RUNNING
+            assert np.array_equal(vm.image.flat, committed[vm.vm_id])
+
+    def test_survivors_roll_back_locally(self, paper_cluster, sim, rng):
+        ck = dvdc(paper_cluster)
+        rep, _ = self._checkpoint_then_kill(paper_cluster, sim, ck, 0, rng)
+        assert len(rep.rolled_back) == 9
+
+    def test_recovery_avoids_nas_entirely(self, paper_cluster, sim, rng):
+        ck = dvdc(paper_cluster)
+        self._checkpoint_then_kill(paper_cluster, sim, ck, 1, rng)
+        assert len(paper_cluster.nas) == 0
+        assert paper_cluster.nas.disk.ops == 0
+
+    def test_parity_node_loss_reencodes(self, paper_cluster, sim, rng):
+        ck = dvdc(paper_cluster)
+        rep, _ = self._checkpoint_then_kill(paper_cluster, sim, ck, 3, rng)
+        # node 3 held one group's parity; that group lost no member only
+        # if none of its members were on node 3 — with the Fig. 4 layout
+        # node 3 hosts members of 3 groups and parity of 1
+        assert len(rep.reencoded_groups) == 1
+        g = rep.reencoded_groups[0]
+        new_home = ck.layout.groups_with_parity_on(3)
+        assert all(gg.group_id != g for gg in new_home)
+
+    def test_recover_without_epoch_raises(self, paper_cluster, sim):
+        ck = dvdc(paper_cluster)
+        paper_cluster.kill_node(0)
+
+        def proc():
+            yield from ck.recover(0)
+
+        with pytest.raises(RuntimeError):
+            run_process(sim, proc())
+
+    def test_post_recovery_epochs_consistent(self, paper_cluster, sim, rng):
+        ck = dvdc(paper_cluster, strategy=IncrementalCapture())
+
+        def proc():
+            yield from ck.run_cycle()
+            paper_cluster.kill_node(1)
+            yield from ck.recover(1)
+            for vm in paper_cluster.all_vms:
+                vm.image.touch_pages(rng.integers(0, 32, 4), rng)
+            yield sim.timeout(5.0)
+            yield from ck.run_cycle()
+
+        run_process(sim, proc())
+        assert _parity_matches_committed(paper_cluster, ck)
+
+    def test_heal_restores_validity_after_repair(self, paper_cluster, sim, rng):
+        ck = dvdc(paper_cluster)
+
+        def proc():
+            yield from ck.run_cycle()
+            paper_cluster.kill_node(1)
+            yield from ck.recover(1)
+            paper_cluster.repair_node(1)
+            healed = yield from ck.heal()
+            return healed
+
+        healed = run_process(sim, proc())
+        assert healed  # something was degraded and got fixed
+        assert validate_layout(ck.layout, paper_cluster).ok
+        assert _parity_matches_committed(paper_cluster, ck)
+
+
+class TestFirstShotArchitecture:
+    def _build(self):
+        sim_ = __import__("repro.sim", fromlist=["Simulator"]).Simulator()
+        cluster = VirtualCluster(sim_, ClusterSpec(n_nodes=4))
+        rng = np.random.default_rng(5)
+        for node in range(3):
+            vm = cluster.create_vm(node, 1e9, image_pages=16, page_size=64)
+            vm.image.write(0, rng.integers(0, 256, 512, dtype=np.uint8))
+            vm.image.clear_dirty()
+        return sim_, cluster
+
+    def test_fanin_single_group(self):
+        sim, cluster = self._build()
+        ck = first_shot(cluster)
+        assert len(ck.layout) == 1
+        assert ck.layout.groups[0].parity_node == 3
+
+    def test_cycle_and_recovery(self, rng):
+        sim, cluster = self._build()
+        ck = first_shot(cluster)
+        committed = {}
+
+        def proc():
+            yield from ck.run_cycle()
+            for vm in cluster.all_vms:
+                committed[vm.vm_id] = (
+                    cluster.hypervisor(vm.node_id).committed(vm.vm_id)
+                    .payload_flat().copy()
+                )
+            cluster.kill_node(0)
+            rep = yield from ck.recover(0)
+            return rep
+
+        rep = run_process(sim, proc())
+        assert list(rep.reconstructed) == [0]
+        vm0 = cluster.vm(0)
+        assert np.array_equal(vm0.image.flat, committed[0])
+
+    def test_parity_work_concentrated(self):
+        sim, cluster = self._build()
+        ck = first_shot(cluster)
+
+        def proc():
+            r = yield from ck.run_cycle()
+            return r
+
+        r = run_process(sim, proc())
+        assert list(r.xor_seconds_by_node) == [3]
+
+
+class TestCheckpointNodeArchitecture:
+    def _build(self):
+        sim_ = __import__("repro.sim", fromlist=["Simulator"]).Simulator()
+        cluster = VirtualCluster(sim_, ClusterSpec(n_nodes=4))
+        rng = np.random.default_rng(6)
+        for node in range(3):
+            for _ in range(3):
+                vm = cluster.create_vm(node, 1e9, image_pages=16, page_size=64)
+                vm.image.write(0, rng.integers(0, 256, 512, dtype=np.uint8))
+                vm.image.clear_dirty()
+        return sim_, cluster
+
+    def test_all_parity_on_dedicated_node(self):
+        sim, cluster = self._build()
+        ck = checkpoint_node(cluster, node_id=3)
+
+        def proc():
+            r = yield from ck.run_cycle()
+            return r
+
+        r = run_process(sim, proc())
+        assert list(r.xor_seconds_by_node) == [3]
+        assert len(cluster.node(3).parity_store) == 3
+
+    def test_fanin_slower_than_dvdc(self):
+        """Fig. 3 vs Fig. 4: concentrating parity serializes the exchange."""
+        sim_a, cluster_a = self._build()
+        ck_a = checkpoint_node(cluster_a, node_id=3)
+
+        def proc_a():
+            r = yield from ck_a.run_cycle()
+            return r
+
+        r_fig3 = run_process(sim_a, proc_a())
+
+        # Fig. 4 with same total VM count (12 VMs over 4 nodes)
+        sim_b = __import__("repro.sim", fromlist=["Simulator"]).Simulator()
+        cluster_b = VirtualCluster(sim_b, ClusterSpec(n_nodes=4))
+        cluster_b.create_vms_balanced(12, 1e9)
+        ck_b = dvdc(cluster_b)
+
+        def proc_b():
+            r = yield from ck_b.run_cycle()
+            return r
+
+        r_fig4 = run_process(sim_b, proc_b())
+        assert r_fig3.latency > r_fig4.latency

@@ -1,0 +1,194 @@
+"""Tests for the overhead pipelines, optimal intervals, and Fig. 5."""
+
+import numpy as np
+import pytest
+
+from repro.failures.mtbf import PAPER_LAMBDA
+from repro.model import (
+    DISKFUL_PAPER,
+    DISKLESS_PAPER,
+    ClusterModel,
+    MethodConfig,
+    PAPER_JOB_SECONDS,
+    daly_interval,
+    diskful_costs,
+    diskless_costs,
+    expected_time_with_overhead,
+    fig5,
+    find_optimal_interval,
+    overhead_function,
+    sweep_intervals,
+    young_interval,
+)
+
+
+class TestClusterModel:
+    def test_paper_defaults(self):
+        m = ClusterModel()
+        assert m.n_vms == 12
+        assert m.capture_pause == pytest.approx(40e-3)
+
+    def test_with_(self):
+        m = ClusterModel().with_(n_nodes=8)
+        assert m.n_nodes == 8
+        assert m.vms_per_node == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterModel(n_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterModel(nas_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            ClusterModel(vm_dirty_rate=-1.0)
+        with pytest.raises(ValueError):
+            MethodConfig(incremental=False, compression_ratio=0.0)
+
+
+class TestPipelines:
+    def test_diskful_nas_serialization(self):
+        m = ClusterModel()
+        c = diskful_costs(m, interval=1000.0)
+        # 12 GiB over 100 MB/s ingress then 120 MB/s disk
+        total = 12 * m.vm_memory_bytes
+        assert c.network == pytest.approx(total / 100e6)
+        assert c.sink == pytest.approx(total / 120e6)
+        assert c.overhead == pytest.approx(c.pause + c.network + c.sink)
+
+    def test_diskless_distributed_exchange(self):
+        m = ClusterModel()
+        c = diskless_costs(m, interval=100.0)
+        raw_per_vm = min(m.vm_dirty_rate * 100.0, m.vm_memory_bytes)
+        per_node_wire = raw_per_vm * 0.5 * 3
+        assert c.network == pytest.approx(per_node_wire / m.node_bandwidth)
+        # XOR orders of magnitude below a disk write of the same data
+        assert c.sink < diskful_costs(m, 100.0).sink / 100
+
+    def test_diskless_overhead_orders_below_diskful(self):
+        m = ClusterModel()
+        assert diskless_costs(m, 100.0).overhead < diskful_costs(m, 100.0).overhead / 50
+
+    def test_incremental_saturates(self):
+        m = ClusterModel()
+        c1 = diskless_costs(m, interval=1e12)
+        # dirty set capped at image size
+        assert c1.stage_bytes <= m.n_vms * m.vm_memory_bytes * 0.5 + 1
+
+    def test_pipelined_config_overlaps(self):
+        m = ClusterModel()
+        cfg = MethodConfig(incremental=False, pipelined=True)
+        serial = diskful_costs(m, 0.0)
+        overl = diskful_costs(m, 0.0, cfg)
+        assert overl.overhead == pytest.approx(
+            serial.pause + max(serial.network, serial.sink)
+        )
+        assert overl.overhead < serial.overhead
+
+    def test_diskful_nic_bound_when_nas_fast(self):
+        m = ClusterModel(nas_bandwidth=1e12, nas_disk_bandwidth=1e12)
+        c = diskful_costs(m, 0.0)
+        per_node = 3 * m.vm_memory_bytes
+        assert c.network == pytest.approx(per_node / m.node_bandwidth)
+
+    def test_overhead_function_dispatch(self):
+        m = ClusterModel()
+        f = overhead_function(m, "diskful")
+        g = overhead_function(m, "diskless")
+        assert f(100.0) == diskful_costs(m, 100.0).overhead
+        assert g(100.0) == diskless_costs(m, 100.0).overhead
+        with pytest.raises(ValueError):
+            overhead_function(m, "nonsense")
+
+
+class TestOptimalInterval:
+    def test_young_formula(self):
+        assert young_interval(1e-4, 50.0) == pytest.approx((2 * 50.0 / 1e-4) ** 0.5)
+
+    def test_daly_close_to_young_for_small_overhead(self):
+        lam, ov = 1e-5, 10.0
+        y, d = young_interval(lam, ov), daly_interval(lam, ov)
+        assert abs(d - y) / y < 0.05
+
+    def test_daly_clamps_outside_validity(self):
+        lam = 1e-2
+        assert daly_interval(lam, 1000.0) == pytest.approx(1.0 / lam)
+
+    def test_search_matches_young_for_constant_overhead(self):
+        lam, T, ov = PAPER_LAMBDA, PAPER_JOB_SECONDS, 100.0
+        opt = find_optimal_interval(lam, T, ov)
+        y = young_interval(lam, ov)
+        # Young is first-order; agree within ~15%
+        assert abs(opt.interval - y) / y < 0.15
+        # and the found optimum is at least as good as Young's point
+        assert opt.expected_time <= expected_time_with_overhead(lam, T, y, ov) * (
+            1 + 1e-9
+        )
+
+    def test_search_handles_interval_dependent_overhead(self):
+        m = ClusterModel()
+        opt = find_optimal_interval(
+            PAPER_LAMBDA, PAPER_JOB_SECONDS, overhead_function(m, "diskless")
+        )
+        assert 10.0 < opt.interval < 1000.0
+        assert opt.expected_ratio < 1.05
+
+    def test_grid_boundaries(self):
+        with pytest.raises(ValueError):
+            find_optimal_interval(1e-4, 100.0, 1.0, bounds=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            find_optimal_interval(1e-4, 100.0, -1.0)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5()
+
+    def test_headline_reduction_matches_paper(self, result):
+        """Section V-B: 'diskless checkpointing reduces estimated time to
+        completion by 18% over disk-based checkpointing'."""
+        assert 0.14 <= result.reduction <= 0.23
+
+    def test_diskless_overhead_ratio_about_one_percent(self, result):
+        """Section V-B: 'with 1% overhead ratio'."""
+        assert 0.005 <= result.diskless.overhead_ratio <= 0.02
+
+    def test_diskful_adds_nearly_twenty_percent(self, result):
+        """Section V-B: 'adds nearly 20% to the total execution time'."""
+        assert 0.15 <= result.diskful.overhead_ratio <= 0.30
+
+    def test_optima_are_curve_minima(self, result):
+        for series in (result.diskless, result.diskful):
+            assert series.min_ratio <= series.ratios.min() * (1 + 1e-6)
+
+    def test_diskless_curve_below_diskful_everywhere_near_optima(self, result):
+        mask = (result.diskless.intervals > 10) & (
+            result.diskless.intervals < 10000
+        )
+        assert (
+            result.diskless.ratios[mask] <= result.diskful.ratios[mask] + 1e-9
+        ).all()
+
+    def test_diskless_optimal_interval_shorter(self, result):
+        """Cheap checkpoints => checkpoint more often (Young's law)."""
+        assert result.diskless.optimum.interval < result.diskful.optimum.interval
+
+    def test_sweep_custom_grid(self):
+        grid = np.logspace(1, 4, 40)
+        s = sweep_intervals(
+            PAPER_LAMBDA, PAPER_JOB_SECONDS, ClusterModel(), "diskful",
+            DISKFUL_PAPER, intervals=grid,
+        )
+        assert len(s.ratios) == 40
+        assert s.method == "diskful"
+
+    def test_curves_are_u_shaped(self, result):
+        """Both curves rise at both ends (too-frequent and too-rare)."""
+        for series in (result.diskless, result.diskful):
+            r = series.ratios
+            assert r[0] > series.min_ratio
+            assert r[-1] > series.min_ratio
+
+    def test_configs_exported(self):
+        assert DISKFUL_PAPER.incremental is False
+        assert DISKLESS_PAPER.incremental is True
+        assert DISKLESS_PAPER.compression_ratio == 0.5

@@ -1,0 +1,112 @@
+"""Tests for the renewal Monte-Carlo and Poisson-sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.failures import Bathtub, Exponential, LogNormal, Weibull
+from repro.model import (
+    estimate_expected_time,
+    poisson_sensitivity,
+    simulate_renewal_completion_times,
+)
+
+
+class TestRenewalSimulator:
+    def test_failure_free_deterministic(self, rng):
+        dist = Exponential(1e-15)
+        times = simulate_renewal_completion_times(
+            rng, dist, T=100.0, N=10.0, T_ov=1.0, n_runs=5
+        )
+        assert np.allclose(times, 110.0)
+
+    def test_exponential_matches_memoryless_simulator(self, rng):
+        """For exponential failures the renewal and per-segment
+        memoryless games have identical distributions."""
+        lam, T, N, Tov, Tr = 1 / 1800.0, 4 * 3600.0, 900.0, 60.0, 30.0
+        renewal = simulate_renewal_completion_times(
+            rng, Exponential(lam), T, N, Tov, Tr, n_runs=8000
+        )
+        memoryless = estimate_expected_time(rng, lam, T, N, Tov, Tr, n_runs=8000)
+        se = np.sqrt(
+            renewal.std(ddof=1) ** 2 / len(renewal) + memoryless.std_error**2
+        )
+        assert abs(renewal.mean() - memoryless.mean) < 4 * se
+
+    def test_validation(self, rng):
+        d = Exponential(1e-3)
+        with pytest.raises(ValueError):
+            simulate_renewal_completion_times(rng, d, T=0.0, N=1.0)
+        with pytest.raises(ValueError):
+            simulate_renewal_completion_times(rng, d, T=1.0, N=0.0)
+        with pytest.raises(ValueError):
+            simulate_renewal_completion_times(rng, d, T=1.0, N=1.0, T_ov=-1.0)
+        with pytest.raises(ValueError):
+            simulate_renewal_completion_times(rng, d, T=1.0, N=1.0, n_runs=0)
+
+    def test_no_checkpointing_mode(self, rng):
+        d = Exponential(1 / 50.0)
+        times = simulate_renewal_completion_times(rng, d, T=100.0, N=None,
+                                                  n_runs=3000)
+        # heavy failure regime: far above T on average
+        assert times.mean() > 200.0
+
+    def test_final_checkpoint_flag(self, rng):
+        d = Exponential(1e-15)
+        with_final = simulate_renewal_completion_times(
+            rng, d, 100.0, 10.0, T_ov=1.0, n_runs=2, final_checkpoint=True
+        )
+        without = simulate_renewal_completion_times(
+            rng, d, 100.0, 10.0, T_ov=1.0, n_runs=2, final_checkpoint=False
+        )
+        assert np.allclose(with_final - without, 1.0)
+
+
+class TestPoissonSensitivity:
+    T, N, Tov, Tr = 8 * 3600.0, 1200.0, 120.0, 60.0
+    MTBF = 2 * 3600.0
+
+    def test_exponential_self_consistent(self, rng):
+        r = poisson_sensitivity(
+            rng, Exponential(1 / self.MTBF), self.T, self.N, self.Tov,
+            self.Tr, n_runs=4000,
+        )
+        assert abs(r.relative_error) < 0.02
+
+    def test_weibull_infant_mortality_small_error(self, rng):
+        """Schroeder–Gibson-like Weibull (shape 0.7): the Poisson model
+        stays within a few percent at the paper's operating regime
+        (N + T_ov << MTBF)."""
+        r = poisson_sensitivity(
+            rng, Weibull.from_mtbf(self.MTBF, 0.7), self.T, self.N,
+            self.Tov, self.Tr, n_runs=4000,
+        )
+        assert abs(r.relative_error) < 0.05
+
+    def test_lognormal_small_error(self, rng):
+        r = poisson_sensitivity(
+            rng, LogNormal.from_mean_cv(self.MTBF, 1.5), self.T, self.N,
+            self.Tov, self.Tr, n_runs=4000,
+        )
+        assert abs(r.relative_error) < 0.06
+
+    def test_bathtub_uses_its_own_mtbf(self, rng):
+        b = Bathtub.typical(self.MTBF)
+        r = poisson_sensitivity(rng, b, self.T, self.N, self.Tov, self.Tr,
+                                n_runs=2000)
+        # competing risks shrink the effective MTBF below the life phase
+        assert r.mtbf < self.MTBF
+        assert abs(r.relative_error) < 0.08
+
+    def test_heavy_regime_deviation_grows(self, rng):
+        """When segments are no longer << MTBF the shape of the
+        distribution starts to matter — the caveat has teeth somewhere."""
+        mtbf = 1800.0  # 30 min, with 20-min segments
+        light = poisson_sensitivity(
+            rng, Weibull.from_mtbf(self.MTBF, 0.5), self.T, self.N,
+            self.Tov, self.Tr, n_runs=2500,
+        )
+        heavy = poisson_sensitivity(
+            rng, Weibull.from_mtbf(mtbf, 0.5), self.T, self.N,
+            self.Tov, self.Tr, n_runs=2500,
+        )
+        assert abs(heavy.relative_error) > abs(light.relative_error)

@@ -1,0 +1,191 @@
+"""Tests for the discrete-event core: ordering, cancellation, clocks."""
+
+import math
+
+import pytest
+
+from repro.sim import (
+    LATE,
+    NORMAL,
+    URGENT,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_clock_custom_start(self):
+        assert Simulator(start=42.0).now == 42.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_priority_orders_same_timestamp(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "late", priority=LATE)
+        sim.schedule(1.0, order.append, "normal", priority=NORMAL)
+        sim.schedule(1.0, order.append, "urgent", priority=URGENT)
+        sim.run()
+        assert order == ["urgent", "normal", "late"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.5]
+        assert sim.now == 5.5
+
+    def test_schedule_during_event(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: order.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_nan_and_inf_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(math.nan, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(math.inf, lambda: None)
+
+    def test_at_before_now_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.pending
+
+    def test_pending_transitions(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.pending
+        sim.run()
+        assert not handle.pending
+        assert handle.fired
+
+    def test_drain_cancels_everything(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        assert sim.drain() == 5
+        sim.run()
+        assert fired == []
+
+
+class TestRun:
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        assert sim.run(until=4.0) == 4.0
+        assert sim.now == 4.0
+        # remaining event still fires later
+        assert sim.run() == 10.0
+
+    def test_run_empty_queue_until(self):
+        sim = Simulator()
+        assert sim.run(until=7.0) == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(float(i + 1), count.append, i)
+        sim.run(max_events=3)
+        assert len(count) == 3
+
+    def test_stop_simulation_halts_immediately(self):
+        sim = Simulator()
+        seen = []
+
+        def stopper():
+            seen.append("stop")
+            raise StopSimulation
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, seen.append, "after")
+        sim.run()
+        assert seen == ["stop"]
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, nested)
+        sim.run()
+
+    def test_event_count(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.event_count == 4
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() == math.inf
+        h = sim.schedule(3.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        assert sim.peek() == 3.0
+        h.cancel()
+        assert sim.peek() == 5.0
+
+    def test_exception_propagates_out_of_run(self):
+        sim = Simulator()
+
+        def boom():
+            raise ValueError("boom")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()

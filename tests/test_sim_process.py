@@ -1,0 +1,298 @@
+"""Tests for generator processes: waits, joins, interrupts, conditions."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    ProcessError,
+    SimEvent,
+    Simulator,
+    Timeout,
+)
+
+from conftest import run_process
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+            return sim.now
+
+        assert run_process(sim, proc()) == 5.0
+
+    def test_timeout_value(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value="payload")
+            return got
+
+        assert run_process(sim, proc()) == "payload"
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            yield sim.timeout(3.0)
+            return sim.now
+
+        assert run_process(sim, proc()) == 6.0
+
+    def test_zero_timeout_allowed(self, sim):
+        def proc():
+            yield sim.timeout(0.0)
+            return "done"
+
+        assert run_process(sim, proc()) == "done"
+
+
+class TestEvents:
+    def test_wait_for_event_value(self, sim):
+        ev = sim.event()
+
+        def waiter():
+            got = yield ev
+            return got
+
+        def trigger():
+            yield sim.timeout(2.0)
+            ev.succeed(99)
+
+        p = sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert p.value == 99
+        assert sim.now == 2.0
+
+    def test_event_failure_raises_in_waiter(self, sim):
+        ev = sim.event()
+
+        def waiter():
+            try:
+                yield ev
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        def trigger():
+            yield sim.timeout(1.0)
+            ev.fail(ValueError("bad"))
+
+        p = sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert p.value == "caught bad"
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(ProcessError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(ProcessError):
+            sim.event().fail("not an exception")
+
+    def test_waiting_on_already_triggered_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()  # let callbacks drain
+
+        def waiter():
+            got = yield ev
+            return got
+
+        assert run_process(sim, waiter()) == "early"
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(ProcessError):
+            _ = sim.event().value
+
+
+class TestJoin:
+    def test_join_returns_child_value(self, sim):
+        def child():
+            yield sim.timeout(3.0)
+            return "result"
+
+        def parent():
+            got = yield sim.process(child())
+            return (got, sim.now)
+
+        assert run_process(sim, parent()) == ("result", 3.0)
+
+    def test_child_exception_propagates_to_parent(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert run_process(sim, parent()) == "child died"
+
+    def test_unhandled_child_exception_fails_process(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        p = sim.process(child())
+        sim.run()
+        assert p.ok is False
+        assert isinstance(p.value, RuntimeError)
+
+    def test_yield_non_event_fails_process(self, sim):
+        def bad():
+            yield 42
+
+        p = sim.process(bad())
+        sim.run()
+        assert p.ok is False
+        assert isinstance(p.value, ProcessError)
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as i:
+                return ("interrupted", i.cause, sim.now)
+
+        p = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(5.0)
+            p.interrupt("reason")
+
+        sim.process(killer())
+        sim.run()
+        assert p.value == ("interrupted", "reason", 5.0)
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(quick())
+        sim.run()
+        p.interrupt("too late")
+        sim.run()
+        assert p.value == "done"
+
+    def test_uncaught_interrupt_ends_process_cleanly(self, sim):
+        def victim():
+            yield sim.timeout(100.0)
+
+        p = sim.process(victim())
+        sim.schedule(1.0, lambda: p.interrupt())
+        sim.run()
+        assert p.ok is True
+        assert p.value is None
+
+    def test_abandoned_event_wakeup_ignored(self, sim):
+        """After an interrupt, the original event firing must not resume
+        the process a second time."""
+        trace = []
+
+        def victim():
+            try:
+                yield sim.timeout(10.0)
+                trace.append("timeout-completed")
+            except Interrupt:
+                trace.append("interrupted")
+                yield sim.timeout(20.0)
+                trace.append("after")
+
+        p = sim.process(victim())
+        sim.schedule(1.0, lambda: p.interrupt())
+        sim.run()
+        assert trace == ["interrupted", "after"]
+        assert sim.now == 21.0
+
+
+class TestConditions:
+    def test_allof_waits_for_all(self, sim):
+        def worker(d):
+            yield sim.timeout(d)
+            return d
+
+        def parent():
+            got = yield AllOf(sim, [sim.process(worker(3.0)), sim.process(worker(1.0))])
+            return (got, sim.now)
+
+        values, t = run_process(sim, parent())
+        assert t == 3.0
+        assert values == {0: 3.0, 1: 1.0}
+
+    def test_allof_empty_succeeds_immediately(self, sim):
+        def parent():
+            got = yield AllOf(sim, [])
+            return got
+
+        assert run_process(sim, parent()) == {}
+
+    def test_allof_fails_fast(self, sim):
+        def ok():
+            yield sim.timeout(10.0)
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("fail fast")
+
+        def parent():
+            try:
+                yield AllOf(sim, [sim.process(ok()), sim.process(bad())])
+            except ValueError:
+                return sim.now
+
+        assert run_process(sim, parent()) == 1.0
+
+    def test_anyof_returns_first(self, sim):
+        def worker(d):
+            yield sim.timeout(d)
+            return d
+
+        def parent():
+            got = yield AnyOf(sim, [sim.process(worker(5.0)), sim.process(worker(2.0))])
+            return (got, sim.now)
+
+        values, t = run_process(sim, parent())
+        assert t == 2.0
+        assert values == {1: 2.0}
+
+    def test_anyof_fails_only_when_all_fail(self, sim):
+        def bad(d, msg):
+            yield sim.timeout(d)
+            raise ValueError(msg)
+
+        def parent():
+            try:
+                yield AnyOf(sim, [sim.process(bad(1.0, "a")), sim.process(bad(2.0, "b"))])
+            except ValueError as exc:
+                return (str(exc), sim.now)
+
+        assert run_process(sim, parent()) == ("b", 2.0)
+
+
+class TestDeterminism:
+    def test_runs_are_identical(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def worker(name, delays):
+                for d in delays:
+                    yield sim.timeout(d)
+                    log.append((sim.now, name))
+
+            sim.process(worker("a", [1, 2, 1]))
+            sim.process(worker("b", [2, 1, 1]))
+            sim.process(worker("c", [1, 1, 2]))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,233 @@
+"""Tests for Resource / Store / Container."""
+
+import pytest
+
+from repro.sim import Container, Resource, ResourceError, Store
+
+from conftest import run_process
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ResourceError):
+            Resource(sim, capacity=0)
+
+    def test_grant_immediately_when_free(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def proc():
+            yield res.request()
+            return (res.in_use, res.available)
+
+        assert run_process(sim, proc()) == (1, 1)
+
+    def test_fifo_queueing(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            req = res.request()
+            yield req
+            order.append((sim.now, name))
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 2.0))
+        sim.process(worker("c", 2.0))
+        sim.run()
+        assert order == [(0.0, "a"), (2.0, "b"), (4.0, "c")]
+
+    def test_release_without_grant_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(ResourceError):
+            res.release()
+
+    def test_release_transfers_to_waiter(self, sim):
+        res = Resource(sim, capacity=1)
+        got = []
+
+        def a():
+            yield res.request()
+            yield sim.timeout(1.0)
+            res.release()
+
+        def b():
+            yield res.request()
+            got.append(sim.now)
+            res.release()
+
+        sim.process(a())
+        sim.process(b())
+        sim.run()
+        assert got == [1.0]
+        assert res.in_use == 0
+
+    def test_abandoned_request_skipped(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(5.0)
+            res.release()
+
+        reqs = {}
+
+        def quitter():
+            reqs["q"] = res.request()
+            try:
+                yield reqs["q"]
+            except BaseException:  # pragma: no cover
+                pass
+
+        def patient():
+            yield res.request()
+            order.append(sim.now)
+            res.release()
+
+        sim.process(holder())
+        q = sim.process(quitter())
+
+        def kill_quitter():
+            yield sim.timeout(1.0)
+            # simulate a process abandoning its queued request
+            reqs["q"].abandon()
+            q.interrupt()
+
+        sim.process(kill_quitter())
+        sim.process(patient())
+        sim.run()
+        assert order == [5.0]
+
+    def test_queue_length(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.process(waiter())
+        sim.run(until=1.0)
+        assert res.queue_length == 2
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+
+        def proc():
+            got = yield store.get()
+            return got
+
+        assert run_process(sim, proc()) == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def getter():
+            got = yield store.get()
+            return (got, sim.now)
+
+        def putter():
+            yield sim.timeout(3.0)
+            store.put(42)
+
+        p = sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert p.value == (42, 3.0)
+
+    def test_fifo_matching(self, sim):
+        store = Store(sim)
+        results = []
+
+        def getter(name):
+            got = yield store.get()
+            results.append((name, got))
+
+        sim.process(getter("g1"))
+        sim.process(getter("g2"))
+
+        def putter():
+            yield sim.timeout(1.0)
+            store.put("first")
+            store.put("second")
+
+        sim.process(putter())
+        sim.run()
+        assert results == [("g1", "first"), ("g2", "second")]
+
+    def test_len_and_peek(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.peek_all() == [1, 2]
+
+
+class TestContainer:
+    def test_validation(self, sim):
+        with pytest.raises(ResourceError):
+            Container(sim, capacity=0)
+        with pytest.raises(ResourceError):
+            Container(sim, capacity=10, init=11)
+
+    def test_get_blocks_until_level(self, sim):
+        tank = Container(sim, capacity=100, init=0)
+
+        def getter():
+            yield tank.get(30)
+            return sim.now
+
+        def filler():
+            yield sim.timeout(1.0)
+            tank.put(20)
+            yield sim.timeout(1.0)
+            tank.put(20)
+
+        p = sim.process(getter())
+        sim.process(filler())
+        sim.run()
+        assert p.value == 2.0
+        assert tank.level == pytest.approx(10.0)
+
+    def test_overflow_rejected(self, sim):
+        tank = Container(sim, capacity=10, init=5)
+        with pytest.raises(ResourceError):
+            tank.put(6)
+
+    def test_get_exceeding_capacity_rejected(self, sim):
+        tank = Container(sim, capacity=10)
+        with pytest.raises(ResourceError):
+            tank.get(11)
+
+    def test_fifo_no_starvation(self, sim):
+        """A large blocked request must block smaller later ones."""
+        tank = Container(sim, capacity=100, init=0)
+        order = []
+
+        def getter(name, amount):
+            yield tank.get(amount)
+            order.append(name)
+
+        sim.process(getter("big", 50))
+        sim.process(getter("small", 5))
+
+        def filler():
+            yield sim.timeout(1.0)
+            tank.put(10)  # enough for small, but big is first
+            yield sim.timeout(1.0)
+            tank.put(90)
+
+        sim.process(filler())
+        sim.run()
+        assert order == ["big", "small"]
