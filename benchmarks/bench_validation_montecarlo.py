@@ -3,27 +3,36 @@
 Two corroboration levels:
 
 1. abstract — the closed-form E[T_chk;ov] against the segment-game
-   Monte-Carlo, across a (λ, N) grid;
+   Monte-Carlo, across a (λ, N) grid, executed through the
+   ``repro.campaign`` layer as deterministically seeded chunks (serial
+   vs parallel wall-clock measured and appended to
+   ``BENCH_campaign.json``; the two are asserted bit-identical);
 2. system — the full cluster simulation (real flows, real recoveries)
    against the model prediction at a matched operating point.
 """
 
+import time
+from pathlib import Path
+
 import numpy as np
 
 from repro.analysis import format_seconds, render_table
+from repro.campaign import ResultStore, run_validate_campaign
 from repro.checkpoint import DiskfulCheckpointer
 from repro.failures import Exponential, FailureInjector, FailureSchedule
 from repro.model import (
     ClusterModel,
     diskful_costs,
-    estimate_expected_time,
     expected_time_with_overhead,
 )
 from repro.workloads import CheckpointedJob, paper_scenario
 
+BENCH_REPORT = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+PARALLEL_JOBS = 4
 
-def test_valmc_equation_grid(benchmark, report):
-    """Closed form vs Monte-Carlo over a (MTBF, interval) grid."""
+
+def test_valmc_equation_grid(benchmark, report, tmp_path):
+    """Closed form vs campaign Monte-Carlo over a (MTBF, interval) grid."""
     T, Tov, Tr = 8 * 3600.0, 120.0, 60.0
     grid = [
         (1 / 1800.0, 600.0),
@@ -33,24 +42,39 @@ def test_valmc_equation_grid(benchmark, report):
         (1 / 14400.0, 3600.0),
     ]
 
-    def run_grid():
-        rng = np.random.default_rng(7)
-        out = []
-        for lam, N in grid:
-            analytic = expected_time_with_overhead(lam, T, N, Tov, Tr)
-            mc = estimate_expected_time(rng, lam, T, N, Tov, Tr, n_runs=4000)
-            out.append((lam, N, analytic, mc))
-        return out
+    def run_grid(jobs=1):
+        cases, campaign = run_validate_campaign(
+            jobs=jobs, T=T, T_ov=Tov, T_r=Tr, runs=4000, seed=7, cases=grid,
+        )
+        assert campaign.n_failed == 0
+        return cases, campaign
 
-    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    (cases, serial_run) = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par_cases, parallel_run = run_grid(jobs=PARALLEL_JOBS)
+    parallel_s = time.perf_counter() - t0
+
+    # chunk seeding is content-derived: the parallel fan-out merges to
+    # the exact same estimates as the serial loop
+    for a, b in zip(cases, par_cases):
+        assert a["estimate"].mean == b["estimate"].mean
+        assert a["estimate"].std_error == b["estimate"].std_error
+
     rows = []
     all_ok = True
-    for lam, N, analytic, mc in results:
+    for case in cases:
+        mc = case["estimate"]
+        analytic = expected_time_with_overhead(
+            case["lam"], T, case["N"], Tov, Tr
+        )
         ok = mc.within(analytic)
         all_ok &= ok
         rows.append([
-            f"{1 / lam / 3600:.1f}h",
-            format_seconds(N),
+            f"{case['mtbf_h']:.1f}h",
+            format_seconds(case["N"]),
             format_seconds(analytic),
             f"{format_seconds(mc.mean)} ± {format_seconds(1.96 * mc.std_error)}",
             "yes" if ok else "NO",
@@ -61,6 +85,21 @@ def test_valmc_equation_grid(benchmark, report):
         rows,
         title="VAL-MC — Section V equations vs Monte-Carlo (T = 8 h)",
     ))
+    payload = {
+        "tasks": serial_run.n_total,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "parallel_jobs": PARALLEL_JOBS,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+    }
+    ResultStore(tmp_path / "valmc_store").write_report(
+        BENCH_REPORT, "validation_montecarlo", payload
+    )
+    report(
+        f"\nVAL-MC campaign: {payload['tasks']} chunk tasks, serial "
+        f"{serial_s:.2f}s vs {PARALLEL_JOBS}-way {parallel_s:.2f}s "
+        f"(speedup {payload['speedup']}x, measured) -> {BENCH_REPORT.name}"
+    )
     assert all_ok
 
 

@@ -1,0 +1,64 @@
+"""Parallel, resumable experiment-campaign orchestration.
+
+The subsystem that turns the repo's serial parameter loops into
+independent task units with deterministic seeding, fans them across
+cores, caches completed results content-addressed on disk, and feeds
+them back into the existing analysis tables and figures::
+
+    from repro.campaign import CampaignRunner, ResultStore, fig5_sweep
+    from repro.campaign import fig5_result_from_values
+
+    sweep = fig5_sweep()
+    runner = CampaignRunner(store=ResultStore("campaign_store"), jobs=4)
+    result = runner.run(sweep.expand())        # resumable: hits are free
+
+See ``docs/campaigns.md`` for the spec format, seeding guarantees,
+store layout, and resume semantics.
+"""
+
+from .aggregate import (
+    fig5_result_from_values,
+    fig5_series_from_values,
+    mc_estimate_from_values,
+    study_outcome_from_values,
+)
+from .presets import (
+    PRESETS,
+    fig5_sweep,
+    run_fig5_campaign,
+    run_study_campaign,
+    run_validate_campaign,
+    study_sweep,
+    validate_tasks,
+)
+from .runner import CampaignResult, CampaignRunner, TaskRun, execute_task
+from .spec import Sweep, Task, canonical_json, task_key
+from .store import ResultStore
+from .tasks import TaskKind, get_kind, register_task, task_kinds
+
+__all__ = [
+    "Task",
+    "Sweep",
+    "canonical_json",
+    "task_key",
+    "ResultStore",
+    "CampaignRunner",
+    "CampaignResult",
+    "TaskRun",
+    "execute_task",
+    "TaskKind",
+    "register_task",
+    "get_kind",
+    "task_kinds",
+    "fig5_sweep",
+    "validate_tasks",
+    "study_sweep",
+    "run_fig5_campaign",
+    "run_validate_campaign",
+    "run_study_campaign",
+    "PRESETS",
+    "fig5_result_from_values",
+    "fig5_series_from_values",
+    "mc_estimate_from_values",
+    "study_outcome_from_values",
+]

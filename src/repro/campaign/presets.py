@@ -1,0 +1,263 @@
+"""Prebuilt campaigns for the repo's quantitative artifacts.
+
+Each ``*_sweep``/``*_tasks`` builder returns the task units of one
+artifact; each ``run_*_campaign`` helper executes them through a
+:class:`~repro.campaign.runner.CampaignRunner` and hands back both the
+reassembled artifact and the :class:`CampaignResult` (counts, wall
+clock).  The CLI subcommands, the campaign-backed benches, and
+``examples/campaign_sweep.py`` all run through these, so there is one
+definition of each campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+
+from ..failures.mtbf import PAPER_LAMBDA
+from ..model import (
+    DISKFUL_PAPER,
+    DISKLESS_PAPER,
+    PAPER_CLUSTER,
+    PAPER_JOB_SECONDS,
+    ClusterModel,
+    MethodConfig,
+    chunk_sizes,
+)
+from ..sim.rng import derive_seed
+from .runner import CampaignResult, CampaignRunner
+from .spec import Sweep, Task
+from .store import ResultStore
+
+__all__ = [
+    "fig5_sweep",
+    "validate_tasks",
+    "study_sweep",
+    "run_fig5_campaign",
+    "run_validate_campaign",
+    "run_study_campaign",
+    "PRESETS",
+]
+
+#: Default MTBF grid of the ``validate`` command, hours.
+VALIDATE_MTBF_HOURS = (0.5, 1.0, 2.0, 4.0)
+
+
+def fig5_sweep(
+    lam: float = PAPER_LAMBDA,
+    T: float = PAPER_JOB_SECONDS,
+    cluster: ClusterModel = PAPER_CLUSTER,
+    diskful_cfg: MethodConfig = DISKFUL_PAPER,
+    diskless_cfg: MethodConfig = DISKLESS_PAPER,
+    intervals: np.ndarray | None = None,
+    points: int = 240,
+    name: str = "fig5",
+) -> Sweep:
+    """The Fig. 5 interval sweep as a deterministic campaign.
+
+    The default grid matches :func:`repro.model.ratio.sweep_intervals`
+    (240 log-spaced intervals up to T/2); ``points`` shrinks it for
+    smoke runs.
+    """
+    if intervals is None:
+        intervals = np.logspace(0, np.log10(T / 2.0), points)
+    return Sweep(
+        name=name,
+        kind="fig5_point",
+        base={
+            "lam": lam,
+            "T": T,
+            "cluster": asdict(cluster),
+            "diskful_cfg": asdict(diskful_cfg),
+            "diskless_cfg": asdict(diskless_cfg),
+        },
+        grid={
+            "interval": [float(x) for x in np.asarray(intervals)],
+            "method": ["diskful", "diskless"],
+        },
+        seeded=False,
+    )
+
+
+def validate_tasks(
+    T: float = 8 * 3600.0,
+    T_ov: float = 120.0,
+    T_r: float = 60.0,
+    runs: int = 4000,
+    seed: int = 0,
+    mtbf_hours: tuple[float, ...] = VALIDATE_MTBF_HOURS,
+    cases: list[tuple[float, float]] | None = None,
+    chunk_runs: int = 512,
+) -> tuple[list[dict], list[Task]]:
+    """The VAL-MC grid as chunked Monte-Carlo tasks.
+
+    Returns ``(cases, tasks)``: one case per grid point — with a
+    per-case master seed derived from ``seed`` — and the flat task list
+    (cases crossed with chunk indices).  By default the grid is
+    ``mtbf_hours`` with the serial ``validate`` command's interval
+    choice; pass explicit ``cases`` as ``(lam, N)`` pairs to pin both.
+    """
+    if cases is None:
+        pairs = []
+        for mtbf_h in mtbf_hours:
+            lam = 1.0 / (mtbf_h * 3600.0)
+            pairs.append((lam, max(60.0, (2 * T_ov / lam) ** 0.5)))
+    else:
+        pairs = [(float(lam), float(N)) for lam, N in cases]
+    cases = []
+    tasks = []
+    for lam, N in pairs:
+        mtbf_h = 1.0 / lam / 3600.0
+        case = {
+            "mtbf_h": mtbf_h,
+            "lam": lam,
+            "N": N,
+            "master_seed": derive_seed(
+                seed, f"validate/case/{lam!r}/{N!r}"
+            ),
+        }
+        cases.append(case)
+        for index in range(len(chunk_sizes(runs, chunk_runs))):
+            tasks.append(Task(
+                kind="mc_chunk",
+                params={
+                    "lam": lam,
+                    "T": T,
+                    "N": N,
+                    "T_ov": T_ov,
+                    "T_r": T_r,
+                    "n_runs": runs,
+                    "chunk_runs": chunk_runs,
+                    "chunk_index": index,
+                    "final_checkpoint": True,
+                    "master_seed": case["master_seed"],
+                },
+            ))
+    return cases, tasks
+
+
+def study_sweep(
+    methods: list[dict],
+    work: float = 4 * 3600.0,
+    interval: float = 600.0,
+    node_mtbf: float = 6 * 3600.0,
+    repair_time: float = 30.0,
+    seeds: int = 5,
+    n_nodes: int = 4,
+    vms_per_node: int = 3,
+    name: str = "study",
+) -> Sweep:
+    """A paired job study as one campaign cell per (method, trace seed).
+
+    ``methods`` are dicts with the :class:`repro.experiments.MethodSpec`
+    fields (``name``, optional ``incremental``/``overlap``/``label``).
+    """
+    return Sweep(
+        name=name,
+        kind="study_cell",
+        base={
+            "work": work,
+            "interval": interval,
+            "node_mtbf": node_mtbf,
+            "repair_time": repair_time,
+            "n_nodes": n_nodes,
+            "vms_per_node": vms_per_node,
+        },
+        grid={
+            "method": methods,
+            "trace_seed": list(range(seeds)),
+        },
+        seeded=False,
+    )
+
+
+def _runner(jobs: int, store: ResultStore | str | None, resume: bool):
+    if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
+        store = ResultStore(store)
+    return CampaignRunner(store=store, jobs=jobs, resume=resume)
+
+
+def run_fig5_campaign(
+    jobs: int = 1,
+    store: ResultStore | str | None = None,
+    resume: bool = True,
+    **sweep_kwargs,
+):
+    """Execute the Fig. 5 sweep; returns ``(Fig5Result, CampaignResult)``."""
+    from .aggregate import fig5_result_from_values
+
+    sweep = fig5_sweep(**sweep_kwargs)
+    result = _runner(jobs, store, resume).run(sweep.expand())
+    _raise_if_all_failed(result)
+    base = sweep.base
+    fig = fig5_result_from_values(
+        result.values("fig5_point"),
+        lam=base["lam"],
+        T=base["T"],
+        cluster=ClusterModel(**base["cluster"]),
+        diskful_cfg=MethodConfig(**base["diskful_cfg"]),
+        diskless_cfg=MethodConfig(**base["diskless_cfg"]),
+    )
+    return fig, result
+
+
+def run_validate_campaign(
+    jobs: int = 1,
+    store: ResultStore | str | None = None,
+    resume: bool = True,
+    **task_kwargs,
+):
+    """Execute the VAL-MC grid.
+
+    Returns ``(rows, CampaignResult)`` where each row is the case dict
+    plus its merged ``estimate`` (:class:`MonteCarloEstimate`).
+    """
+    from .aggregate import mc_estimate_from_values
+
+    cases, tasks = validate_tasks(**task_kwargs)
+    result = _runner(jobs, store, resume).run(tasks)
+    _raise_if_all_failed(result)
+    rows = []
+    for case in cases:
+        values = [
+            r.value for r in result.runs
+            if r.ok and r.task.kind == "mc_chunk"
+            and r.task.params.get("master_seed") == case["master_seed"]
+        ]
+        rows.append({**case, "estimate": mc_estimate_from_values(values)})
+    return rows, result
+
+
+def run_study_campaign(
+    jobs: int = 1,
+    store: ResultStore | str | None = None,
+    resume: bool = True,
+    **sweep_kwargs,
+):
+    """Execute a paired study; returns ``(StudyOutcome, CampaignResult)``."""
+    from .aggregate import study_outcome_from_values
+
+    sweep = study_sweep(**sweep_kwargs)
+    result = _runner(jobs, store, resume).run(sweep.expand())
+    _raise_if_all_failed(result)
+    outcome = study_outcome_from_values(
+        result.values("study_cell"), work=sweep.base["work"]
+    )
+    return outcome, result
+
+
+def _raise_if_all_failed(result: CampaignResult) -> None:
+    if result.n_total and result.n_failed == result.n_total:
+        first = result.failures()[0]
+        raise RuntimeError(
+            f"every campaign task failed; first error: {first.error}"
+        )
+
+
+#: Preset name → the run helper the ``repro campaign`` CLI dispatches to.
+PRESETS = {
+    "fig5": run_fig5_campaign,
+    "validate": run_validate_campaign,
+    "study": run_study_campaign,
+}

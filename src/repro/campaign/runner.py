@@ -1,0 +1,193 @@
+"""Parallel, resumable execution of campaign tasks.
+
+The runner fans independent :class:`~repro.campaign.spec.Task` units out
+across a :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=1``
+runs inline with no pool).  Three invariants make ``--jobs N`` safe:
+
+* **Seed discipline** — every task carries its own master seed, derived
+  from parameter values at expansion time; workers never share or
+  advance a common stream, so parallel results are bit-identical to
+  serial ones.
+* **Failure isolation** — task functions run inside a catch-all in the
+  worker; an exception marks that task failed and the sweep continues.
+* **Deterministic collection** — results are gathered and persisted in
+  task-list order regardless of completion order, so stores, aggregated
+  tables, and floating-point merges never depend on scheduling.
+
+With a :class:`~repro.campaign.store.ResultStore` attached, completed
+tasks are looked up by content hash first (``resume=True``), so
+re-running a half-finished sweep executes only the missing tasks.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .spec import Task
+from .store import ResultStore
+from .tasks import get_kind
+
+__all__ = ["TaskRun", "CampaignResult", "CampaignRunner", "execute_task"]
+
+
+def execute_task(task_dict: dict) -> dict:
+    """Run one task in the current process; never raises.
+
+    Top-level (hence picklable) worker entry point.  Returns
+    ``{"ok": bool, "value": dict|None, "error": str|None, "elapsed": s}``.
+    """
+    start = time.perf_counter()
+    try:
+        task = Task.from_dict(task_dict)
+        kind = get_kind(task.kind)
+        value = kind.fn(task.params, task.seed)
+        return {
+            "ok": True,
+            "value": value,
+            "error": None,
+            "elapsed": time.perf_counter() - start,
+        }
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        return {
+            "ok": False,
+            "value": None,
+            "error": f"{type(exc).__name__}: {exc}",
+            "elapsed": time.perf_counter() - start,
+        }
+
+
+@dataclass(frozen=True)
+class TaskRun:
+    """Outcome of one task within a campaign run."""
+
+    task: Task
+    value: dict | None
+    error: str | None = None
+    cached: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CampaignResult:
+    """All task outcomes of one run, in task-list order."""
+
+    runs: list[TaskRun] = field(default_factory=list)
+    jobs: int = 1
+    wall_time: float = 0.0
+
+    @property
+    def n_total(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(r.cached for r in self.runs)
+
+    @property
+    def n_executed(self) -> int:
+        return sum(not r.cached for r in self.runs)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(not r.ok for r in self.runs)
+
+    def values(self, kind: str | None = None) -> list[dict]:
+        """Successful task values in task order."""
+        return [
+            r.value for r in self.runs
+            if r.ok and (kind is None or r.task.kind == kind)
+        ]
+
+    def failures(self) -> list[TaskRun]:
+        return [r for r in self.runs if not r.ok]
+
+    def summary_table(self, title: str = "campaign") -> str:
+        from ..analysis import render_table
+
+        return render_table(
+            ["tasks", "executed", "cached", "failed", "jobs", "wall clock"],
+            [[
+                self.n_total,
+                self.n_executed,
+                self.n_cached,
+                self.n_failed,
+                self.jobs,
+                f"{self.wall_time:.2f}s",
+            ]],
+            title=title,
+        )
+
+
+class CampaignRunner:
+    """Execute tasks with optional parallelism and result caching.
+
+    ``jobs=1`` runs inline (no subprocess); ``jobs>1`` uses a process
+    pool.  ``store=None`` disables caching; otherwise completed tasks
+    are served from the store when ``resume`` and persisted after
+    execution.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        jobs: int = 1,
+        resume: bool = True,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.store = store
+        self.jobs = jobs
+        self.resume = resume
+
+    def run(self, tasks: Sequence[Task]) -> CampaignResult:
+        start = time.perf_counter()
+        outcomes: list[TaskRun | None] = [None] * len(tasks)
+
+        pending: list[int] = []
+        for i, task in enumerate(tasks):
+            rec = None
+            if self.store is not None and self.resume:
+                rec = self.store.get(task.key)
+            if rec is not None:
+                outcomes[i] = TaskRun(
+                    task=task,
+                    value=rec["value"],
+                    cached=True,
+                    elapsed=float(rec.get("elapsed", 0.0)),
+                )
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.jobs == 1:
+                raws = [execute_task(tasks[i].to_dict()) for i in pending]
+            else:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = [
+                        pool.submit(execute_task, tasks[i].to_dict())
+                        for i in pending
+                    ]
+                    raws = [f.result() for f in futures]
+            for i, raw in zip(pending, raws):
+                outcomes[i] = TaskRun(
+                    task=tasks[i],
+                    value=raw["value"],
+                    error=raw["error"],
+                    elapsed=raw["elapsed"],
+                )
+
+        runs = [r for r in outcomes if r is not None]
+        if self.store is not None:
+            for r in runs:
+                if r.ok and not r.cached:
+                    self.store.put(r.task, r.value, r.elapsed)
+        return CampaignResult(
+            runs=runs, jobs=self.jobs, wall_time=time.perf_counter() - start
+        )

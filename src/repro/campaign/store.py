@@ -1,0 +1,117 @@
+"""Content-addressed on-disk result cache — what makes campaigns resumable.
+
+Layout: one directory per store holding ``results.jsonl``, an append-only
+JSON-lines file.  Each line is a completed task record::
+
+    {"key": "<task content hash>", "task": {...}, "value": {...},
+     "elapsed": 0.0123}
+
+The key is :func:`repro.campaign.spec.task_key` — a hash of the task's
+kind, params, seed, and code-version tag — so a record is valid exactly
+as long as its inputs and the producing code are unchanged.  Failed
+tasks are never written; re-running a half-finished sweep therefore
+executes only the missing (or previously failed) tasks.
+
+Appending is atomic enough for our writer model: only the coordinating
+process writes (workers return values to it), so no locking is needed.
+Duplicate keys can appear if two campaigns race on one store; the last
+line wins on load, which is harmless because equal keys imply equal
+inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from .spec import Task
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Append-only JSONL store indexed by task content hash.
+
+    ``hits``/``misses`` count :meth:`get` outcomes since open — tests
+    and the resume report use them to prove cached tasks were skipped.
+    """
+
+    FILENAME = "results.jsonl"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / self.FILENAME
+        self.hits = 0
+        self.misses = 0
+        self._index: dict[str, dict] = {}
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    rec = json.loads(line)
+                    self._index[rec["key"]] = rec
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, counting hit or miss."""
+        rec = self._index.get(key)
+        if rec is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return rec
+
+    def peek(self, key: str) -> dict | None:
+        """Like :meth:`get` but without touching the counters."""
+        return self._index.get(key)
+
+    def put(self, task: Task, value: dict, elapsed: float = 0.0) -> dict:
+        """Persist one completed task; returns the stored record."""
+        rec = {
+            "key": task.key,
+            "task": task.to_dict(),
+            "value": value,
+            "elapsed": float(elapsed),
+        }
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._index[rec["key"]] = rec
+        return rec
+
+    def records(self, kind: str | None = None) -> list[dict]:
+        """All records, optionally filtered by task kind."""
+        recs = self._index.values()
+        if kind is None:
+            return list(recs)
+        return [r for r in recs if r["task"]["kind"] == kind]
+
+    def write_report(self, path: str | Path, name: str, payload: dict) -> dict:
+        """Merge ``payload`` under ``name`` into a JSON report file.
+
+        Used by the campaign-backed benches to accumulate entries in
+        ``BENCH_campaign.json`` across runs; returns the full document.
+        """
+        path = Path(path)
+        doc: dict = {}
+        if path.exists():
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (ValueError, OSError):
+                doc = {}
+        doc[name] = payload
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return doc

@@ -1,0 +1,186 @@
+"""Registered task kinds — the functions campaign workers execute.
+
+A task kind is a top-level (hence picklable) function ``fn(params,
+seed) -> dict`` plus a ``version`` tag.  The tag is part of every task's
+content hash: bump it when the function's semantics change and cached
+results for that kind — and only that kind — are invalidated.
+
+Built-in kinds cover the repo's three quantitative workloads:
+
+``fig5_point``
+    One (method, interval) point of the Fig. 5 expected-time-ratio
+    curve.  Purely deterministic — identical math to
+    :func:`repro.model.ratio.sweep_intervals`'s inner loop, so a
+    campaign-assembled curve is bit-identical to the serial one.
+``mc_chunk``
+    One deterministically seeded chunk of the Section V Monte-Carlo
+    (:func:`repro.model.montecarlo.simulate_completion_times_chunk`),
+    returning mergeable moments rather than raw samples.
+``study_cell``
+    One (method, trace seed) cell of a paired job study, running the
+    full cluster simulation and returning the ``JobResult`` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "TaskKind",
+    "register_task",
+    "get_kind",
+    "task_kinds",
+    "run_fig5_point",
+    "run_mc_chunk",
+    "run_study_cell",
+]
+
+
+@dataclass(frozen=True)
+class TaskKind:
+    """A registered task function with its code-version tag."""
+
+    name: str
+    fn: Callable[[dict, int | None], dict]
+    version: str
+
+
+_REGISTRY: dict[str, TaskKind] = {}
+
+
+def register_task(name: str, version: str = "1"):
+    """Decorator registering ``fn(params, seed) -> dict`` as a kind."""
+
+    def deco(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"task kind {name!r} already registered")
+        _REGISTRY[name] = TaskKind(name=name, fn=fn, version=str(version))
+        return fn
+
+    return deco
+
+
+def get_kind(name: str) -> TaskKind:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown task kind {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def task_kinds() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in kinds
+
+
+def _cluster_from(params: dict):
+    from ..model import ClusterModel
+
+    return ClusterModel(**(params.get("cluster") or {}))
+
+
+def _method_cfg(params: dict, method: str):
+    from ..model import DISKFUL_PAPER, DISKLESS_PAPER, MethodConfig
+
+    cfg = params.get(f"{method}_cfg")
+    if cfg is not None:
+        return MethodConfig(**cfg)
+    return DISKFUL_PAPER if method == "diskful" else DISKLESS_PAPER
+
+
+@register_task("fig5_point", version="1")
+def run_fig5_point(params: dict, seed: int | None) -> dict:
+    """Expected-time ratio at one checkpoint interval.
+
+    params: method ("diskful"|"diskless"), interval, lam, T, optional
+    cluster overrides and per-method cfg overrides, optional T_r.
+    """
+    from ..model import expected_time_with_overhead, overhead_function
+
+    method = params["method"]
+    interval = float(params["interval"])
+    lam = float(params["lam"])
+    T = float(params["T"])
+    cluster = _cluster_from(params)
+    ov = overhead_function(cluster, method, _method_cfg(params, method))
+    repair = float(params.get("T_r", cluster.repair_time))
+    ratio = expected_time_with_overhead(
+        lam, T, interval, ov(interval), repair
+    ) / T
+    return {"method": method, "interval": interval, "ratio": ratio}
+
+
+@register_task("mc_chunk", version="1")
+def run_mc_chunk(params: dict, seed: int | None) -> dict:
+    """One chunk of the segment-game Monte-Carlo, as mergeable moments.
+
+    params: lam, T, N (null = no checkpointing), T_ov, T_r, n_runs,
+    chunk_runs, chunk_index, final_checkpoint, master_seed.  The chunk
+    seed is derived from ``master_seed`` + ``chunk_index`` exactly as
+    :func:`simulate_completion_times_chunked` does, so campaign output
+    merges bit-identically with the serial chunked estimator.
+    """
+    from ..model import chunk_moments, chunk_sizes, simulate_completion_times_chunk
+
+    index = int(params["chunk_index"])
+    sizes = chunk_sizes(
+        int(params["n_runs"]), int(params.get("chunk_runs", 512))
+    )
+    if not 0 <= index < len(sizes):
+        raise ValueError(f"chunk_index {index} out of range (of {len(sizes)})")
+    N = params.get("N")
+    samples = simulate_completion_times_chunk(
+        int(params["master_seed"]),
+        index,
+        sizes[index],
+        float(params["lam"]),
+        float(params["T"]),
+        None if N is None else float(N),
+        float(params.get("T_ov", 0.0)),
+        float(params.get("T_r", 0.0)),
+        bool(params.get("final_checkpoint", True)),
+    )
+    return {"chunk_index": index, **chunk_moments(samples)}
+
+
+@register_task("study_cell", version="1")
+def run_study_cell(params: dict, seed: int | None) -> dict:
+    """One (method, trace seed) cell of a paired job study.
+
+    params: method {name, incremental, overlap, label}, trace_seed,
+    work, interval, node_mtbf, repair_time, n_nodes, vms_per_node.
+    Delegates to :class:`repro.experiments.PairedJobStudy` so the cell
+    is the exact computation the serial study performs.
+    """
+    from dataclasses import asdict
+
+    from ..experiments import MethodSpec, PairedJobStudy
+
+    m = params["method"]
+    spec = MethodSpec(
+        name=m["name"],
+        incremental=bool(m.get("incremental", True)),
+        overlap=bool(m.get("overlap", False)),
+        label=m.get("label"),
+    )
+    study = PairedJobStudy(
+        methods=[spec],
+        work=float(params["work"]),
+        interval=float(params["interval"]),
+        node_mtbf=float(params["node_mtbf"]),
+        repair_time=float(params.get("repair_time", 30.0)),
+        seeds=int(params["trace_seed"]) + 1,
+        n_nodes=int(params.get("n_nodes", 4)),
+        vms_per_node=int(params.get("vms_per_node", 3)),
+    )
+    outcome = study._run_cell(spec, int(params["trace_seed"]))
+    return {
+        "method": outcome.method,
+        "trace_seed": outcome.seed,
+        "result": asdict(outcome.result),
+    }

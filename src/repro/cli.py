@@ -15,17 +15,23 @@ study
     Paired multi-method comparison over shared failure traces.
 validate
     Corroborate the Section V equations against Monte-Carlo.
+campaign
+    Run a preset or JSON-spec experiment campaign through the parallel,
+    resumable orchestration layer (``--jobs``, ``--resume``, ``--store``).
 calibrate
     Measure this host's streaming XOR bandwidth (the model's
     ``memory_xor_bandwidth`` input).
+
+``fig5``, ``study``, and ``validate`` execute through the campaign
+layer too: ``--jobs N`` fans their task units across cores with
+bit-identical output (deterministic per-task seeding), and ``--store``
+makes them resumable.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 from .analysis import ascii_plot, format_bytes, format_seconds, render_table
 from .failures import Exponential, FailureInjector, FailureSchedule
@@ -35,17 +41,7 @@ from .workloads import CheckpointedJob, paper_scenario, scaled_scenario
 __all__ = ["main", "build_parser"]
 
 
-def _cmd_fig5(args: argparse.Namespace) -> int:
-    cluster = ClusterModel(
-        n_nodes=args.nodes,
-        vms_per_node=args.vms_per_node,
-        vm_dirty_rate=args.dirty_rate,
-    )
-    result = fig5(
-        lam=1.0 / (args.mtbf * 3600.0),
-        T=args.job * 3600.0,
-        cluster=cluster,
-    )
+def _fig5_report(result, plot: bool) -> None:
     rows = []
     for s in (result.diskful, result.diskless):
         rows.append([
@@ -59,13 +55,15 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         ["method", "optimal interval", "T_ov", "E[T]/T", "overhead"],
         rows,
         title=(
-            f"Fig. 5 @ MTBF {args.mtbf:g} h, job {args.job:g} h, "
-            f"{args.nodes} nodes x {args.vms_per_node} VMs"
+            f"Fig. 5 @ MTBF {1.0 / result.lam / 3600.0:g} h, "
+            f"job {result.T / 3600.0:g} h, "
+            f"{result.cluster.n_nodes} nodes x "
+            f"{result.cluster.vms_per_node} VMs"
         ),
     ))
     print(f"\ndiskless reduces expected completion time by "
           f"{result.reduction * 100:.1f}%")
-    if args.plot:
+    if plot:
         mask = result.diskful.ratios < 2.0
         print()
         print(ascii_plot(
@@ -81,7 +79,43 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
                 (result.diskful.optimum.interval, result.diskful.min_ratio),
             ],
         ))
-    return 0
+
+
+def _campaign_kwargs(args: argparse.Namespace) -> dict:
+    """The runner options every campaign-backed command shares."""
+    return {
+        "jobs": args.jobs,
+        "store": args.store,
+        "resume": not getattr(args, "no_resume", False),
+    }
+
+
+def _report_failures(campaign) -> None:
+    for run in campaign.failures()[:5]:
+        print(f"FAILED {run.task.kind} {run.task.params}: {run.error}",
+              file=sys.stderr)
+    if campaign.n_failed > 5:
+        print(f"... and {campaign.n_failed - 5} more failed tasks",
+              file=sys.stderr)
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from .campaign import run_fig5_campaign
+
+    cluster = ClusterModel(
+        n_nodes=args.nodes,
+        vms_per_node=args.vms_per_node,
+        vm_dirty_rate=args.dirty_rate,
+    )
+    result, campaign = run_fig5_campaign(
+        lam=1.0 / (args.mtbf * 3600.0),
+        T=args.job * 3600.0,
+        cluster=cluster,
+        **_campaign_kwargs(args),
+    )
+    _fig5_report(result, args.plot)
+    _report_failures(campaign)
+    return 0 if campaign.n_failed == 0 else 1
 
 
 def _cmd_epoch(args: argparse.Namespace) -> int:
@@ -191,15 +225,19 @@ def _cmd_job(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    from .experiments import MethodSpec, PairedJobStudy
+    from .campaign import run_study_campaign
 
     methods = []
     for name in args.methods:
         overlap = name.endswith("+overlap")
         base = name.removesuffix("+overlap")
-        methods.append(MethodSpec(base, incremental=not args.full,
-                                  overlap=overlap, label=name))
-    study = PairedJobStudy(
+        methods.append({
+            "name": base,
+            "incremental": not args.full,
+            "overlap": overlap,
+            "label": name,
+        })
+    outcome, campaign = run_study_campaign(
         methods=methods,
         work=args.work * 3600.0,
         interval=args.interval,
@@ -208,31 +246,38 @@ def _cmd_study(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         n_nodes=args.nodes,
         vms_per_node=args.vms_per_node,
+        **_campaign_kwargs(args),
     )
-    outcome = study.run()
     print(outcome.summary_table())
-    return 0
+    _report_failures(campaign)
+    return 0 if campaign.n_failed == 0 else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from .model import estimate_expected_time, expected_time_with_overhead
+    from .campaign import run_validate_campaign
+    from .model import expected_time_with_overhead
 
-    rng = np.random.default_rng(args.seed)
     T = args.job * 3600.0
+    cases, campaign = run_validate_campaign(
+        T=T,
+        T_ov=args.overhead,
+        T_r=args.repair,
+        runs=args.runs,
+        seed=args.seed,
+        **_campaign_kwargs(args),
+    )
     rows = []
     worst = 0.0
-    for mtbf_h in (0.5, 1.0, 2.0, 4.0):
-        lam = 1.0 / (mtbf_h * 3600.0)
-        N = max(60.0, (2 * args.overhead / lam) ** 0.5)
-        analytic = expected_time_with_overhead(lam, T, N, args.overhead, args.repair)
-        mc = estimate_expected_time(
-            rng, lam, T, N, args.overhead, args.repair, n_runs=args.runs
+    for case in cases:
+        mc = case["estimate"]
+        analytic = expected_time_with_overhead(
+            case["lam"], T, case["N"], args.overhead, args.repair
         )
         err = abs(mc.mean - analytic) / analytic
         worst = max(worst, err)
         rows.append([
-            f"{mtbf_h:g}h",
-            format_seconds(N),
+            f"{case['mtbf_h']:g}h",
+            format_seconds(case["N"]),
             format_seconds(analytic),
             format_seconds(mc.mean),
             f"{err * 100:.2f}%",
@@ -244,7 +289,73 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         rows,
         title=f"Section V equations vs Monte-Carlo ({args.runs} runs each)",
     ))
-    return 0 if worst < 0.05 else 1
+    _report_failures(campaign)
+    return 0 if worst < 0.05 and campaign.n_failed == 0 else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignRunner,
+        ResultStore,
+        Sweep,
+        run_fig5_campaign,
+        run_study_campaign,
+        run_validate_campaign,
+    )
+    from .model import expected_time_with_overhead
+
+    kwargs = _campaign_kwargs(args)
+
+    if args.spec is not None:
+        import json as _json
+
+        sweep = Sweep.from_dict(_json.loads(open(args.spec).read()))
+        store = ResultStore(args.store) if args.store else None
+        runner = CampaignRunner(store=store, jobs=args.jobs,
+                                resume=not args.no_resume)
+        result = runner.run(sweep.expand())
+        print(result.summary_table(title=f"campaign {sweep.name!r}"))
+        _report_failures(result)
+        return 0 if result.n_failed == 0 else 1
+
+    if args.preset == "fig5":
+        result, campaign = run_fig5_campaign(points=args.points, **kwargs)
+        print(campaign.summary_table(title="campaign 'fig5'"))
+        print()
+        _fig5_report(result, plot=False)
+    elif args.preset == "validate":
+        cases, campaign = run_validate_campaign(runs=args.runs,
+                                                seed=args.seed, **kwargs)
+        print(campaign.summary_table(title="campaign 'validate'"))
+        print()
+        rows = [
+            [
+                f"{c['mtbf_h']:g}h",
+                format_seconds(c["N"]),
+                format_seconds(c["estimate"].mean),
+                "yes" if c["estimate"].within(expected_time_with_overhead(
+                    c["lam"], 8 * 3600.0, c["N"], 120.0, 60.0
+                )) else "NO",
+            ]
+            for c in cases
+        ]
+        print(render_table(
+            ["MTBF", "interval", "E[T] Monte-Carlo", "within 3 sigma"],
+            rows,
+            title=f"VAL-MC grid ({args.runs} runs per point)",
+        ))
+    else:  # study
+        outcome, campaign = run_study_campaign(
+            methods=[{"name": "dvdc"}, {"name": "diskful"}],
+            seeds=args.seeds,
+            work=args.work * 3600.0,
+            **kwargs,
+        )
+        print(campaign.summary_table(title="campaign 'study'"))
+        print()
+        print(outcome.summary_table())
+    _report_failures(campaign)
+    return 0 if campaign.n_failed == 0 else 1
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -254,6 +365,23 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     print(f"streaming XOR bandwidth: {format_bytes(bw)}/s")
     print(f"model input: ClusterModel(memory_xor_bandwidth={bw:.3g})")
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_campaign_flags(sp: argparse.ArgumentParser) -> None:
+    """``--jobs/--store/--no-resume`` — shared by campaign-backed commands."""
+    sp.add_argument("--jobs", type=_positive_int, default=1,
+                    help="parallel worker processes (1 = inline)")
+    sp.add_argument("--store", default=None,
+                    help="result-store directory (enables caching/resume)")
+    sp.add_argument("--no-resume", action="store_true",
+                    help="ignore cached results in the store")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -270,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     f5.add_argument("--dirty-rate", type=float, default=2e5,
                     help="per-VM dirty rate, bytes/s")
     f5.add_argument("--plot", action="store_true", help="ASCII curve")
+    _add_campaign_flags(f5)
     f5.set_defaults(func=_cmd_fig5)
 
     ep = sub.add_parser("epoch", help="run one checkpoint epoch")
@@ -304,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     stu.add_argument("--vms-per-node", type=int, default=3)
     stu.add_argument("--full", action="store_true",
                      help="full-image capture instead of incremental")
+    _add_campaign_flags(stu)
     stu.set_defaults(func=_cmd_study)
 
     va = sub.add_parser("validate", help="equations vs Monte-Carlo")
@@ -312,7 +442,30 @@ def build_parser() -> argparse.ArgumentParser:
     va.add_argument("--repair", type=float, default=60.0, help="T_r, s")
     va.add_argument("--runs", type=int, default=4000)
     va.add_argument("--seed", type=int, default=0)
+    _add_campaign_flags(va)
     va.set_defaults(func=_cmd_validate)
+
+    cp = sub.add_parser(
+        "campaign",
+        help="run an experiment campaign (parallel, resumable)",
+    )
+    cp.add_argument("preset", nargs="?", default="fig5",
+                    choices=["fig5", "validate", "study"],
+                    help="prebuilt campaign to run")
+    cp.add_argument("--spec", default=None,
+                    help="JSON sweep spec file (overrides the preset)")
+    cp.add_argument("--points", type=int, default=240,
+                    help="fig5: interval grid points")
+    cp.add_argument("--runs", type=int, default=4000,
+                    help="validate: Monte-Carlo runs per grid point")
+    cp.add_argument("--seed", type=int, default=0,
+                    help="validate: master seed")
+    cp.add_argument("--seeds", type=int, default=3,
+                    help="study: failure-trace seeds")
+    cp.add_argument("--work", type=float, default=2.0,
+                    help="study: job length, hours")
+    _add_campaign_flags(cp)
+    cp.set_defaults(func=_cmd_campaign)
 
     ca = sub.add_parser("calibrate", help="measure host XOR bandwidth")
     ca.add_argument("--size", type=int, default=1 << 24, help="buffer bytes")

@@ -12,13 +12,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
+
+from ..sim.rng import derive_seed
 
 __all__ = [
     "simulate_completion_times",
     "MonteCarloEstimate",
     "estimate_expected_time",
+    "chunk_sizes",
+    "chunk_seed",
+    "simulate_completion_times_chunk",
+    "simulate_completion_times_chunked",
+    "chunk_moments",
+    "estimate_from_moments",
+    "estimate_expected_time_chunked",
 ]
 
 
@@ -117,3 +127,136 @@ def estimate_expected_time(
         std_error=float(samples.std(ddof=1) / math.sqrt(n_runs)),
         n_runs=n_runs,
     )
+
+
+# ---------------------------------------------------------------------------
+# Chunked evaluation — the unit the campaign runner parallelizes.
+#
+# A large n_runs is split into fixed-size chunks; every chunk draws from
+# its own Generator seeded by ``derive_seed(master_seed, "mc-chunk/i")``.
+# Chunk results therefore depend only on (master_seed, chunk_index,
+# chunk_runs, model params) — never on which process computed them or in
+# what order — so a parallel fan-out is bit-identical to the serial loop.
+
+#: Default runs per chunk; small enough to load-balance a pool, large
+#: enough that the per-segment vectorization still pays off.
+DEFAULT_CHUNK_RUNS = 512
+
+
+def chunk_sizes(n_runs: int, chunk_runs: int = DEFAULT_CHUNK_RUNS) -> list[int]:
+    """Split ``n_runs`` into chunk lengths (last chunk may be short)."""
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    if chunk_runs < 1:
+        raise ValueError("chunk_runs must be >= 1")
+    full, rem = divmod(n_runs, chunk_runs)
+    return [chunk_runs] * full + ([rem] if rem else [])
+
+
+def chunk_seed(master_seed: int, chunk_index: int) -> int:
+    """The derived seed of one Monte-Carlo chunk."""
+    return derive_seed(master_seed, f"mc-chunk/{chunk_index}")
+
+
+def simulate_completion_times_chunk(
+    master_seed: int,
+    chunk_index: int,
+    chunk_runs: int,
+    lam: float,
+    T: float,
+    N: float | None,
+    T_ov: float = 0.0,
+    T_r: float = 0.0,
+    final_checkpoint: bool = True,
+) -> np.ndarray:
+    """One independently seeded chunk of :func:`simulate_completion_times`.
+
+    Calling this for each chunk of :func:`chunk_sizes` — in any order,
+    from any process — and concatenating reproduces
+    :func:`simulate_completion_times_chunked` exactly.
+    """
+    rng = np.random.default_rng(chunk_seed(master_seed, chunk_index))
+    return simulate_completion_times(
+        rng, lam, T, N, T_ov, T_r, chunk_runs, final_checkpoint
+    )
+
+
+def simulate_completion_times_chunked(
+    master_seed: int,
+    lam: float,
+    T: float,
+    N: float | None,
+    T_ov: float = 0.0,
+    T_r: float = 0.0,
+    n_runs: int = 2000,
+    chunk_runs: int = DEFAULT_CHUNK_RUNS,
+    final_checkpoint: bool = True,
+) -> np.ndarray:
+    """All chunks evaluated serially and concatenated in index order."""
+    parts = [
+        simulate_completion_times_chunk(
+            master_seed, i, size, lam, T, N, T_ov, T_r, final_checkpoint
+        )
+        for i, size in enumerate(chunk_sizes(n_runs, chunk_runs))
+    ]
+    return np.concatenate(parts)
+
+
+def chunk_moments(samples: np.ndarray) -> dict:
+    """Sufficient statistics of one chunk — JSON-able, mergeable."""
+    return {
+        "n": int(samples.size),
+        "sum": float(samples.sum()),
+        "sumsq": float(np.square(samples).sum()),
+    }
+
+
+def estimate_from_moments(moments: Iterable[dict]) -> MonteCarloEstimate:
+    """Merge per-chunk moments into one estimate.
+
+    Accumulation is in iteration order, so feed chunks in index order to
+    keep the result bit-identical across serial and parallel campaigns.
+    """
+    n, total, totalsq = 0, 0.0, 0.0
+    for m in moments:
+        n += m["n"]
+        total += m["sum"]
+        totalsq += m["sumsq"]
+    if n < 1:
+        raise ValueError("no chunks to merge")
+    mean = total / n
+    if n > 1:
+        var = max(0.0, (totalsq - n * mean * mean) / (n - 1))
+        std_error = math.sqrt(var / n)
+    else:
+        std_error = float("inf")
+    return MonteCarloEstimate(mean=mean, std_error=std_error, n_runs=n)
+
+
+def estimate_expected_time_chunked(
+    master_seed: int,
+    lam: float,
+    T: float,
+    N: float | None,
+    T_ov: float = 0.0,
+    T_r: float = 0.0,
+    n_runs: int = 2000,
+    chunk_runs: int = DEFAULT_CHUNK_RUNS,
+    final_checkpoint: bool = True,
+) -> MonteCarloEstimate:
+    """Chunk-seeded counterpart of :func:`estimate_expected_time`.
+
+    Aggregates through :func:`estimate_from_moments` — the same merge the
+    campaign layer performs — so CLI ``--jobs 1`` and ``--jobs N`` agree
+    to the bit.
+    """
+    sizes = chunk_sizes(n_runs, chunk_runs)
+    moments = (
+        chunk_moments(
+            simulate_completion_times_chunk(
+                master_seed, i, size, lam, T, N, T_ov, T_r, final_checkpoint
+            )
+        )
+        for i, size in enumerate(sizes)
+    )
+    return estimate_from_moments(moments)

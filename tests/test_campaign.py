@@ -1,0 +1,270 @@
+"""Campaign subsystem: specs, store, runner, and aggregation semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    ResultStore,
+    Sweep,
+    Task,
+    execute_task,
+    get_kind,
+    run_fig5_campaign,
+    run_study_campaign,
+    run_validate_campaign,
+    task_key,
+    task_kinds,
+)
+from repro.model import fig5
+
+
+class TestTaskKeys:
+    def test_key_is_stable(self):
+        a = Task("fig5_point", {"x": 1.5}, seed=7)
+        b = Task("fig5_point", {"x": 1.5}, seed=7)
+        assert a.key == b.key
+
+    def test_key_depends_on_params_seed_version(self):
+        base = Task("fig5_point", {"x": 1.5}, seed=7, version="1")
+        assert base.key != Task("fig5_point", {"x": 2.5}, seed=7).key
+        assert base.key != Task("fig5_point", {"x": 1.5}, seed=8).key
+        assert base.key != Task("fig5_point", {"x": 1.5}, seed=7,
+                                version="2").key
+
+    def test_key_insensitive_to_dict_order(self):
+        assert (task_key("k", {"a": 1, "b": 2}, None, "1")
+                == task_key("k", {"b": 2, "a": 1}, None, "1"))
+
+    def test_roundtrip(self):
+        t = Task("mc_chunk", {"n": 3}, seed=11, version="2")
+        assert Task.from_dict(t.to_dict()) == t
+
+
+class TestSweep:
+    def test_expansion_counts_and_order(self):
+        sw = Sweep(name="s", kind="fig5_point",
+                   grid={"b": [10, 20], "a": [1, 2, 3]})
+        tasks = sw.expand(version="1")
+        assert len(tasks) == sw.n_tasks() == 6
+        # axes cross in sorted-axis order: a-major, then b
+        assert [t.params["a"] for t in tasks] == [1, 1, 2, 2, 3, 3]
+        assert [t.params["b"] for t in tasks] == [10, 20] * 3
+
+    def test_replication_seeds_distinct_and_stable(self):
+        sw = Sweep(name="s", kind="mc_chunk", grid={"a": [1]},
+                   replications=3, master_seed=5)
+        seeds = [t.seed for t in sw.expand(version="1")]
+        assert len(set(seeds)) == 3
+        again = [t.seed for t in sw.expand(version="1")]
+        assert seeds == again
+
+    def test_seed_depends_on_point_values_not_order(self):
+        # permuting a grid axis permutes tasks but not any task's seed
+        fwd = Sweep(name="s", kind="mc_chunk", grid={"a": [1, 2]},
+                    master_seed=9)
+        rev = Sweep(name="s", kind="mc_chunk", grid={"a": [2, 1]},
+                    master_seed=9)
+        by_a_fwd = {t.params["a"]: t.seed for t in fwd.expand(version="1")}
+        by_a_rev = {t.params["a"]: t.seed for t in rev.expand(version="1")}
+        assert by_a_fwd == by_a_rev
+
+    def test_unseeded_sweep(self):
+        sw = Sweep(name="s", kind="fig5_point", grid={"a": [1]},
+                   seeded=False)
+        assert sw.expand(version="1")[0].seed is None
+
+    def test_base_grid_shadow_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(name="s", kind="k", base={"a": 1}, grid={"a": [1]})
+
+    def test_json_roundtrip(self):
+        sw = Sweep(name="s", kind="mc_chunk", base={"T": 1.0},
+                   grid={"a": [1, 2]}, replications=2, master_seed=3)
+        assert Sweep.from_dict(json.loads(json.dumps(sw.to_dict()))) == sw
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        t = Task("fig5_point", {"x": 1})
+        store.put(t, {"ratio": 1.5}, elapsed=0.25)
+        rec = store.get(t.key)
+        assert rec["value"] == {"ratio": 1.5}
+        assert rec["task"]["kind"] == "fig5_point"
+
+    def test_persistence_across_reopen(self, tmp_path):
+        t = Task("fig5_point", {"x": 1})
+        ResultStore(tmp_path / "s").put(t, {"ratio": 1.5})
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 1
+        assert t.key in reopened
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        t = Task("fig5_point", {"x": 1})
+        assert store.get(t.key) is None
+        store.put(t, {"ratio": 1.0})
+        store.get(t.key)
+        store.get(t.key)
+        assert store.hits == 2
+        assert store.misses == 1
+
+    def test_records_filter_by_kind(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(Task("fig5_point", {"x": 1}), {"r": 1})
+        store.put(Task("mc_chunk", {"x": 1}), {"r": 2})
+        assert len(store.records()) == 2
+        assert len(store.records(kind="mc_chunk")) == 1
+
+    def test_write_report_merges(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        path = tmp_path / "report.json"
+        store.write_report(path, "a", {"x": 1})
+        doc = store.write_report(path, "b", {"y": 2})
+        assert doc == {"a": {"x": 1}, "b": {"y": 2}}
+        assert json.loads(path.read_text()) == doc
+
+
+def _tiny_fig5_tasks(n_points=4):
+    from repro.campaign import fig5_sweep
+
+    return fig5_sweep(points=n_points).expand()
+
+
+class TestRunner:
+    def test_registry_has_builtin_kinds(self):
+        assert {"fig5_point", "mc_chunk", "study_cell"} <= set(task_kinds())
+        assert get_kind("fig5_point").version
+
+    def test_execute_task_never_raises(self):
+        bad = Task("fig5_point", {"method": "diskful"})  # missing params
+        out = execute_task(bad.to_dict())
+        assert out["ok"] is False
+        assert "KeyError" in out["error"]
+
+    def test_inline_and_parallel_identical(self):
+        tasks = _tiny_fig5_tasks()
+        r1 = CampaignRunner(jobs=1).run(tasks)
+        r4 = CampaignRunner(jobs=4).run(tasks)
+        assert r1.values() == r4.values()
+        assert r1.n_failed == r4.n_failed == 0
+
+    def test_resume_skips_completed_tasks(self, tmp_path):
+        tasks = _tiny_fig5_tasks()
+        store = ResultStore(tmp_path / "s")
+        cold = CampaignRunner(store=store, jobs=1).run(tasks)
+        assert cold.n_executed == len(tasks)
+        assert store.hits == 0
+
+        hits_before = store.hits
+        warm = CampaignRunner(store=store, jobs=1).run(tasks)
+        assert warm.n_executed == 0
+        assert warm.n_cached == len(tasks)
+        # every task was served by a store hit, none recomputed
+        assert store.hits == hits_before + len(tasks)
+        assert warm.values() == cold.values()
+
+    def test_partial_store_executes_only_missing(self, tmp_path):
+        tasks = _tiny_fig5_tasks()
+        store = ResultStore(tmp_path / "s")
+        CampaignRunner(store=store, jobs=1).run(tasks[:3])
+        result = CampaignRunner(store=store, jobs=1).run(tasks)
+        assert result.n_cached == 3
+        assert result.n_executed == len(tasks) - 3
+
+    def test_no_resume_recomputes(self, tmp_path):
+        tasks = _tiny_fig5_tasks()
+        store = ResultStore(tmp_path / "s")
+        CampaignRunner(store=store, jobs=1).run(tasks)
+        result = CampaignRunner(store=store, jobs=1, resume=False).run(tasks)
+        assert result.n_cached == 0
+        assert result.n_executed == len(tasks)
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_failed_task_isolated(self, jobs):
+        # an out-of-range chunk raises inside its worker; siblings finish
+        ok_params = {
+            "lam": 1e-4, "T": 3600.0, "N": 600.0, "n_runs": 64,
+            "chunk_runs": 32, "final_checkpoint": True, "master_seed": 1,
+        }
+        tasks = [
+            Task("mc_chunk", {**ok_params, "chunk_index": 0}),
+            Task("mc_chunk", {**ok_params, "chunk_index": 99}),
+            Task("mc_chunk", {**ok_params, "chunk_index": 1}),
+        ]
+        result = CampaignRunner(jobs=jobs).run(tasks)
+        assert result.n_failed == 1
+        assert [r.ok for r in result.runs] == [True, False, True]
+        assert "ValueError" in result.failures()[0].error
+
+    def test_failed_task_not_stored(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        bad = Task("fig5_point", {"method": "diskful"})
+        CampaignRunner(store=store, jobs=1).run([bad])
+        assert len(store) == 0  # a rerun retries it
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(jobs=0)
+
+    def test_summary_table(self):
+        result = CampaignRunner(jobs=1).run(_tiny_fig5_tasks())
+        table = result.summary_table("t")
+        assert "executed" in table and "cached" in table
+
+
+class TestCampaignArtifacts:
+    def test_fig5_parallel_bit_identical_to_serial_model(self):
+        grid = np.logspace(0, np.log10(2 * 24 * 3600.0 / 2.0), 16)
+        campaign_fig, run = run_fig5_campaign(jobs=3, intervals=grid)
+        serial_fig = fig5(intervals=grid)
+        assert run.n_failed == 0
+        assert np.array_equal(campaign_fig.diskless.ratios,
+                              serial_fig.diskless.ratios)
+        assert np.array_equal(campaign_fig.diskful.ratios,
+                              serial_fig.diskful.ratios)
+        assert (campaign_fig.diskless.optimum.interval
+                == serial_fig.diskless.optimum.interval)
+        assert campaign_fig.reduction == serial_fig.reduction
+
+    def test_validate_campaign_matches_serial_chunked(self):
+        from repro.model import estimate_expected_time_chunked
+
+        rows, run = run_validate_campaign(
+            jobs=2, runs=512, chunk_runs=128, mtbf_hours=(1.0, 2.0),
+        )
+        assert run.n_failed == 0
+        for row in rows:
+            serial = estimate_expected_time_chunked(
+                row["master_seed"], row["lam"], 8 * 3600.0, row["N"],
+                120.0, 60.0, n_runs=512, chunk_runs=128,
+            )
+            assert row["estimate"].mean == serial.mean
+            assert row["estimate"].std_error == serial.std_error
+
+    def test_study_jobs1_vs_jobs4_identical_tables(self):
+        kwargs = dict(
+            methods=[{"name": "dvdc"}, {"name": "diskful"}],
+            work=0.2 * 3600.0,
+            seeds=2,
+            node_mtbf=12 * 3600.0,
+        )
+        out1, run1 = run_study_campaign(jobs=1, **kwargs)
+        out4, run4 = run_study_campaign(jobs=4, **kwargs)
+        assert run1.n_failed == run4.n_failed == 0
+        assert out1.summary_table() == out4.summary_table()
+
+    def test_study_campaign_resume(self, tmp_path):
+        kwargs = dict(
+            methods=[{"name": "dvdc"}],
+            work=0.1 * 3600.0,
+            seeds=1,
+            store=ResultStore(tmp_path / "s"),
+        )
+        _, cold = run_study_campaign(jobs=1, **kwargs)
+        _, warm = run_study_campaign(jobs=1, **kwargs)
+        assert cold.n_executed == 1
+        assert warm.n_executed == 0 and warm.n_cached == 1

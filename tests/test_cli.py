@@ -15,6 +15,19 @@ class TestParser:
         assert args.mtbf == 3.0
         assert args.job == 48.0
         assert not args.plot
+        assert args.jobs == 1
+        assert args.store is None
+        assert not args.no_resume
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.preset == "fig5"
+        assert args.jobs == 1
+        assert args.spec is None
+
+    def test_campaign_preset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "bogus"])
 
     def test_epoch_arch_choices(self):
         with pytest.raises(SystemExit):
@@ -70,6 +83,74 @@ class TestCommands:
         assert main(["calibrate", "--size", str(1 << 20), "--repeats", "1"]) == 0
         out = capsys.readouterr().out
         assert "memory_xor_bandwidth" in out
+
+
+class TestCampaignCommand:
+    def test_fig5_jobs_output_identical_to_serial(self, capsys):
+        """--jobs N>1 must reproduce the serial table byte-for-byte."""
+        assert main(["fig5"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig5", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_campaign_fig5_smoke(self, capsys):
+        assert main(["campaign", "fig5", "--points", "8", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'fig5'" in out
+        assert "diskless" in out
+
+    def test_campaign_store_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "fig5", "--points", "6",
+                     "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert main(["campaign", "fig5", "--points", "6",
+                     "--store", store]) == 0
+        second = capsys.readouterr().out
+
+        def counts(out):
+            # summary row: tasks executed cached failed jobs wall-clock
+            row = [ln for ln in out.splitlines() if ln.startswith("12")][0]
+            return [int(x) for x in row.split()[:4]]
+
+        # 6 points x 2 methods: all executed cold, none on resume
+        assert counts(first) == [12, 12, 0, 0]
+        assert counts(second) == [12, 0, 12, 0]
+
+    def test_campaign_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec = {
+            "name": "mini",
+            "kind": "fig5_point",
+            "base": {"lam": 9.26e-5, "T": 172800.0},
+            "grid": {"interval": [60.0, 600.0],
+                     "method": ["diskful", "diskless"]},
+            "seeded": False,
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        assert main(["campaign", "--spec", str(path), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'mini'" in out
+
+    def test_validate_jobs_identical(self, capsys):
+        args = ["validate", "--runs", "512", "--job", "4"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_study_jobs_identical(self, capsys):
+        args = ["study", "--work", "0.2", "--seeds", "1", "--node-mtbf",
+                "48", "--methods", "dvdc"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
 
 
 class TestStudyCommand:

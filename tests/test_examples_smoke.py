@@ -51,6 +51,12 @@ class TestExamples:
         assert "PASS" in out
         assert "RDP" in out
 
+    def test_campaign_sweep(self, capsys):
+        out = _run("campaign_sweep.py", ["--points", "8", "--jobs", "2"], capsys)
+        assert "PASS: parallel series bit-identical to serial" in out
+        assert "PASS: resume served 16/16 tasks" in out
+        assert "rebuilt from the result store" in out
+
     def test_hpc_job_survival_small(self, capsys):
         out = _run(
             "hpc_job_survival.py",
