@@ -13,7 +13,6 @@ window means more exposed work per failure, and recovery still pays the
 NAS fan-out — so diskless keeps winning under failures.
 """
 
-import numpy as np
 
 from repro.analysis import format_seconds, render_table
 from repro.checkpoint import DiskfulCheckpointer, IncrementalCapture

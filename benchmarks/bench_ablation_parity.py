@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import format_bytes, render_table
-from repro.cluster import measure_xor_bandwidth, xor_reduce
+from repro.cluster import measure_xor_bandwidth
 from repro.core import RDPCode, XorCode
 
 MEMBERS = 3

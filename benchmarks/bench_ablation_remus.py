@@ -7,7 +7,6 @@ full standby image per VM; DVDC pays at checkpoint instants, stores one
 parity image per group, and must roll the cluster back on failure.
 """
 
-import numpy as np
 
 from repro.analysis import format_bytes, format_seconds, render_table
 from repro.checkpoint import RemusModel, RemusPair
@@ -16,7 +15,6 @@ from repro.core import dvdc
 from repro.model import (
     ClusterModel,
     PAPER_JOB_SECONDS,
-    diskless_costs,
     find_optimal_interval,
     overhead_function,
 )

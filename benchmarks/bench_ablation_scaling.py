@@ -8,7 +8,6 @@ latency as the cluster grows, DVDC vs the dedicated-checkpoint-node
 architecture, at fixed per-node VM density.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_seconds, render_table

@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.analysis import format_bytes, format_seconds, render_table
 from repro.checkpoint import IncrementalCapture
-from repro.core import dvdc, validate_layout
+from repro.core import dvdc
 
 from conftest import functional_cluster, run_to_completion
 

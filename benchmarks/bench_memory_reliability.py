@@ -9,7 +9,6 @@ from repro.model import (
     SCHEMES,
     compare_codes,
     job_survival_probability,
-    mttdl,
     scheme_footprint,
 )
 

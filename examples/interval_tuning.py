@@ -10,14 +10,12 @@ adaptive (cost-benefit) policy converging to the same answer online.
 Run:  python examples/interval_tuning.py
 """
 
-import numpy as np
 
 from repro.analysis import ascii_plot, format_seconds, render_table
 from repro.checkpoint import AdaptivePolicy
 from repro.failures import PAPER_LAMBDA
 from repro.model import (
     ClusterModel,
-    PAPER_JOB_SECONDS,
     daly_interval,
     diskless_costs,
     fig5,

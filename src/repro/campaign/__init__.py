@@ -31,7 +31,13 @@ from .presets import (
     study_sweep,
     validate_tasks,
 )
-from .runner import CampaignResult, CampaignRunner, TaskRun, execute_task
+from .runner import (
+    CampaignResult,
+    CampaignRunner,
+    TaskRun,
+    execute_task,
+    execute_task_batch,
+)
 from .spec import Sweep, Task, canonical_json, task_key
 from .store import ResultStore
 from .tasks import TaskKind, get_kind, register_task, task_kinds
@@ -46,6 +52,7 @@ __all__ = [
     "CampaignResult",
     "TaskRun",
     "execute_task",
+    "execute_task_batch",
     "TaskKind",
     "register_task",
     "get_kind",

@@ -26,6 +26,7 @@ from ..model import (
     chunk_sizes,
 )
 from ..sim.rng import derive_seed
+from ..telemetry import Probe
 from .runner import CampaignResult, CampaignRunner
 from .spec import Sweep, Task
 from .store import ResultStore
@@ -172,23 +173,29 @@ def study_sweep(
     )
 
 
-def _runner(jobs: int, store: ResultStore | str | None, resume: bool):
+def _runner(
+    jobs: int,
+    store: ResultStore | str | None,
+    resume: bool,
+    probe: Probe | None = None,
+):
     if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
         store = ResultStore(store)
-    return CampaignRunner(store=store, jobs=jobs, resume=resume)
+    return CampaignRunner(store=store, jobs=jobs, resume=resume, probe=probe)
 
 
 def run_fig5_campaign(
     jobs: int = 1,
     store: ResultStore | str | None = None,
     resume: bool = True,
+    probe: Probe | None = None,
     **sweep_kwargs,
 ):
     """Execute the Fig. 5 sweep; returns ``(Fig5Result, CampaignResult)``."""
     from .aggregate import fig5_result_from_values
 
     sweep = fig5_sweep(**sweep_kwargs)
-    result = _runner(jobs, store, resume).run(sweep.expand())
+    result = _runner(jobs, store, resume, probe).run(sweep.expand())
     _raise_if_all_failed(result)
     base = sweep.base
     fig = fig5_result_from_values(
@@ -206,6 +213,7 @@ def run_validate_campaign(
     jobs: int = 1,
     store: ResultStore | str | None = None,
     resume: bool = True,
+    probe: Probe | None = None,
     **task_kwargs,
 ):
     """Execute the VAL-MC grid.
@@ -216,7 +224,7 @@ def run_validate_campaign(
     from .aggregate import mc_estimate_from_values
 
     cases, tasks = validate_tasks(**task_kwargs)
-    result = _runner(jobs, store, resume).run(tasks)
+    result = _runner(jobs, store, resume, probe).run(tasks)
     _raise_if_all_failed(result)
     rows = []
     for case in cases:
@@ -233,13 +241,14 @@ def run_study_campaign(
     jobs: int = 1,
     store: ResultStore | str | None = None,
     resume: bool = True,
+    probe: Probe | None = None,
     **sweep_kwargs,
 ):
     """Execute a paired study; returns ``(StudyOutcome, CampaignResult)``."""
     from .aggregate import study_outcome_from_values
 
     sweep = study_sweep(**sweep_kwargs)
-    result = _runner(jobs, store, resume).run(sweep.expand())
+    result = _runner(jobs, store, resume, probe).run(sweep.expand())
     _raise_if_all_failed(result)
     outcome = study_outcome_from_values(
         result.values("study_cell"), work=sweep.base["work"]

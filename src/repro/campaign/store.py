@@ -22,6 +22,7 @@ inputs.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Iterator
 
@@ -35,6 +36,14 @@ class ResultStore:
 
     ``hits``/``misses`` count :meth:`get` outcomes since open — tests
     and the resume report use them to prove cached tasks were skipped.
+
+    A crash mid-append can leave a truncated final line (or any write
+    race, a corrupt interior one).  Loading skips such lines with a
+    warning instead of failing — losing one cached record costs a single
+    re-execution, while refusing to open the store would brick resume
+    for the whole campaign.  When damage is found the file is compacted
+    in place to only the valid records, so later appends start from a
+    clean line boundary rather than gluing onto a partial record.
     """
 
     FILENAME = "results.jsonl"
@@ -45,15 +54,40 @@ class ResultStore:
         self.path = self.root / self.FILENAME
         self.hits = 0
         self.misses = 0
+        self.skipped_lines = 0
         self._index: dict[str, dict] = {}
         if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    rec = json.loads(line)
-                    self._index[rec["key"]] = rec
+            self._load()
+
+    def _load(self) -> None:
+        text = self.path.read_text(encoding="utf-8")
+        valid_lines: list[str] = []
+        dirty = bool(text) and not text.endswith("\n")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                rec = json.loads(stripped)
+                key = rec["key"]
+            except (ValueError, TypeError, KeyError):
+                self.skipped_lines += 1
+                dirty = True
+                warnings.warn(
+                    f"{self.path}:{lineno}: skipping corrupt record "
+                    "(truncated append?)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            self._index[key] = rec
+            valid_lines.append(stripped)
+        if dirty:
+            tmp = self.path.with_suffix(".jsonl.tmp")
+            tmp.write_text(
+                "".join(line + "\n" for line in valid_lines), encoding="utf-8"
+            )
+            tmp.replace(self.path)
 
     def __len__(self) -> int:
         return len(self._index)

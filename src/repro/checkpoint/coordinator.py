@@ -21,6 +21,7 @@ from typing import Sequence
 from ..cluster.cluster import VirtualCluster
 from ..cluster.vm import VirtualMachine, VMState
 from ..sim import NULL_TRACER, Tracer
+from ..telemetry import probe_of
 from .base import CaptureOutcome, CaptureStrategy
 
 __all__ = ["CoordinatedCheckpoint"]
@@ -38,6 +39,7 @@ class CoordinatedCheckpoint:
         self.cluster = cluster
         self.strategy = strategy
         self.tracer = tracer
+        self.probe = probe_of(tracer)
 
     def capture_all(
         self,
@@ -58,6 +60,10 @@ class CoordinatedCheckpoint:
         """
         sim = self.cluster.sim
         live = [vm for vm in vms if vm.state != VMState.FAILED]
+        span = self.probe.span_begin(
+            "checkpoint.capture", sim.now, track="checkpoint",
+            epoch=epoch, n_vms=len(live),
+        )
         for vm in live:
             vm.pause()
         self.tracer.emit(sim.now, "coordinated.pause", epoch=epoch, n_vms=len(live))
@@ -82,4 +88,13 @@ class CoordinatedCheckpoint:
         self.tracer.emit(
             sim.now, "coordinated.resume", epoch=epoch, pause=pause_window
         )
+        self.probe.observe(
+            "repro_checkpoint_pause_seconds", pause_window,
+            help="Global barrier pause window per coordinated capture",
+        )
+        self.probe.count(
+            "repro_checkpoint_captures_total", len(live),
+            help="Per-VM captures performed",
+        )
+        self.probe.span_end(span, sim.now, pause=pause_window)
         return outcomes, pause_window

@@ -29,6 +29,7 @@ from ..cluster.memory import PageDelta
 from ..cluster.vm import VirtualMachine, VMState
 from ..network.link import NetworkError
 from ..sim import AllOf, NULL_TRACER, Tracer
+from ..telemetry import probe_of
 from .base import CaptureStrategy, CheckpointCycleResult
 from .compression import NO_COMPRESSION, CompressionModel
 from .coordinator import CoordinatedCheckpoint
@@ -63,6 +64,7 @@ class DiskfulCheckpointer:
         self.strategy = strategy or ForkedCapture()
         self.compression = compression
         self.tracer = tracer
+        self.probe = probe_of(tracer)
         self.coordinator = CoordinatedCheckpoint(cluster, self.strategy, tracer)
         self.epoch = 0
         self.last_cycle_at: float | None = None
@@ -132,6 +134,9 @@ class DiskfulCheckpointer:
         sim = self.cluster.sim
         start = sim.now
         epoch = self.epoch
+        cycle_span = self.probe.span_begin(
+            "diskful.cycle", start, track="checkpoint", epoch=epoch,
+        )
         failure_snapshot = self.cluster.failure_epoch
         elapsed = (start - self.last_cycle_at) if self.last_cycle_at is not None else start
         vms = [vm for vm in self.cluster.all_vms if vm.state != VMState.FAILED]
@@ -144,6 +149,9 @@ class DiskfulCheckpointer:
             result.per_vm_pause[o.image.vm_id] = o.pause_seconds
 
         # ship all images concurrently; NAS ingress serializes them
+        ship_span = self.probe.span_begin(
+            "diskful.ship", sim.now, track="checkpoint", epoch=epoch,
+        )
         shippers = []
         for o in outcomes:
             wire = self.compression.output_bytes(o.image.logical_bytes)
@@ -152,6 +160,12 @@ class DiskfulCheckpointer:
             shippers.append(self.cluster.sim.process(self._ship_one(o.image, wire)))
         if shippers:
             yield AllOf(sim, shippers)
+        self.probe.span_end(ship_span, sim.now, n_images=len(shippers))
+        self.probe.count(
+            "repro_checkpoint_bytes_total", result.network_bytes,
+            help="Checkpoint bytes moved, by architecture and path",
+            arch="diskful", path="network",
+        )
 
         # two-phase commit: new generation complete -> drop the old one
         if self.cluster.failure_epoch != failure_snapshot:
@@ -159,6 +173,12 @@ class DiskfulCheckpointer:
             result.committed = False
             self.history.append(result)
             self.tracer.emit(sim.now, "diskful.cycle_aborted", epoch=epoch)
+            self.probe.count(
+                "repro_checkpoint_cycles_total",
+                help="Checkpoint cycles, by architecture and commit outcome",
+                arch="diskful", committed="false",
+            )
+            self.probe.span_end(cycle_span, sim.now, committed=False)
             return result
         for o in outcomes:
             old_key = self._key(o.image.vm_id, epoch - 1)
@@ -174,6 +194,17 @@ class DiskfulCheckpointer:
             sim.now, "diskful.cycle", epoch=epoch, overhead=result.overhead,
             latency=result.latency, network_bytes=result.network_bytes,
         )
+        self.probe.count(
+            "repro_checkpoint_cycles_total",
+            help="Checkpoint cycles, by architecture and commit outcome",
+            arch="diskful", committed="true",
+        )
+        self.probe.observe(
+            "repro_checkpoint_commit_latency_seconds", result.latency,
+            help="Cycle start to generation commit, by architecture",
+            arch="diskful",
+        )
+        self.probe.span_end(cycle_span, sim.now, committed=True)
         return result
 
     # ------------------------------------------------------------------
@@ -222,6 +253,9 @@ class DiskfulCheckpointer:
         start = sim.now
         if self.committed_epoch < 0:
             raise RuntimeError("no committed checkpoint generation to recover from")
+        span = self.probe.span_begin(
+            "diskful.recover", start, track="recovery", node=failed_node_id,
+        )
         report = DiskfulRecoveryReport(failed_node=failed_node_id)
         survivors = [n for n in self.cluster.alive_nodes if n.node_id != failed_node_id]
         if not survivors:
@@ -249,4 +283,15 @@ class DiskfulCheckpointer:
             sim.now, "diskful.recovery", node=failed_node_id,
             duration=report.recovery_time, bytes=report.bytes_read,
         )
+        self.probe.observe(
+            "repro_recovery_seconds", report.recovery_time,
+            help="Wall of one rollback-recovery pass, by architecture",
+            arch="diskful",
+        )
+        self.probe.count(
+            "repro_recovery_bytes_total", report.bytes_read,
+            help="Bytes re-read during recovery, by architecture",
+            arch="diskful",
+        )
+        self.probe.span_end(span, sim.now, bytes=report.bytes_read)
         return report

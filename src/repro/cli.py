@@ -18,6 +18,12 @@ validate
 campaign
     Run a preset or JSON-spec experiment campaign through the parallel,
     resumable orchestration layer (``--jobs``, ``--resume``, ``--store``).
+trace export
+    Run an instrumented scenario and export its span timeline as a
+    Chrome/Perfetto trace or a JSONL event stream.
+metrics
+    Run an instrumented scenario and print its metrics in Prometheus
+    text exposition format (or as a summary table).
 calibrate
     Measure this host's streaming XOR bandwidth (the model's
     ``memory_xor_bandwidth`` input).
@@ -35,7 +41,8 @@ import sys
 
 from .analysis import ascii_plot, format_bytes, format_seconds, render_table
 from .failures import Exponential, FailureInjector, FailureSchedule
-from .model import ClusterModel, fig5
+from .model import ClusterModel
+from .sim import NULL_TRACER, Tracer
 from .workloads import CheckpointedJob, paper_scenario, scaled_scenario
 
 __all__ = ["main", "build_parser"]
@@ -118,35 +125,44 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     return 0 if campaign.n_failed == 0 else 1
 
 
-def _cmd_epoch(args: argparse.Namespace) -> int:
+def _build_epoch_checkpointer(sc, arch: str, n_nodes: int,
+                              tracer: Tracer = NULL_TRACER):
+    """One checkpointer of the chosen architecture on ``sc.cluster``.
+
+    Mutates the cluster where the architecture demands it (vacating
+    parity nodes).  Shared by ``epoch`` and the telemetry subcommands.
+    """
     from .checkpoint import DiskfulCheckpointer
     from .core import checkpoint_node, dvdc, first_shot
 
-    sc = scaled_scenario(
-        args.nodes, args.vms_per_node, seed=args.seed, functional=False
-    )
-    if args.arch == "dvdc":
-        ck = dvdc(sc.cluster)
-    elif args.arch == "diskful":
-        ck = DiskfulCheckpointer(sc.cluster)
-    elif args.arch == "checkpoint-node":
+    if arch == "dvdc":
+        return dvdc(sc.cluster, tracer=tracer)
+    if arch == "diskful":
+        return DiskfulCheckpointer(sc.cluster, tracer=tracer)
+    if arch == "checkpoint-node":
         # vacate the last node for parity duty
-        node = args.nodes - 1
+        node = n_nodes - 1
         for vm in list(sc.cluster.vms_on(node)):
             sc.cluster.node(node).evict(vm)
             del sc.cluster.vms[vm.vm_id]
-        ck = checkpoint_node(sc.cluster, node_id=node)
-    elif args.arch == "firstshot":
-        for node in range(args.nodes):
-            extra = sc.cluster.vms_on(node)[1:] if node < args.nodes - 1 else (
+        return checkpoint_node(sc.cluster, node_id=node, tracer=tracer)
+    if arch == "firstshot":
+        for node in range(n_nodes):
+            extra = sc.cluster.vms_on(node)[1:] if node < n_nodes - 1 else (
                 sc.cluster.vms_on(node)
             )
             for vm in extra:
                 sc.cluster.node(node).evict(vm)
                 del sc.cluster.vms[vm.vm_id]
-        ck = first_shot(sc.cluster)
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(args.arch)
+        return first_shot(sc.cluster, tracer=tracer)
+    raise ValueError(arch)  # pragma: no cover - argparse restricts choices
+
+
+def _cmd_epoch(args: argparse.Namespace) -> int:
+    sc = scaled_scenario(
+        args.nodes, args.vms_per_node, seed=args.seed, functional=False
+    )
+    ck = _build_epoch_checkpointer(sc, args.arch, args.nodes)
 
     out = {}
 
@@ -358,6 +374,111 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if campaign.n_failed == 0 else 1
 
 
+def _run_instrumented(args: argparse.Namespace):
+    """Run the chosen scenario with a live probe; returns the probe.
+
+    ``epoch``/``job`` run full simulations (spans on the checkpoint /
+    recovery tracks, sim/network/storage metrics); ``fig5`` runs the
+    analytic campaign (spans on the campaign track, per-task timings).
+    """
+    from .telemetry import Probe
+
+    probe = Probe()
+    if args.scenario == "fig5":
+        from .campaign import run_fig5_campaign
+
+        run_fig5_campaign(points=args.points, probe=probe)
+        return probe
+    if args.scenario == "epoch":
+        sc = scaled_scenario(
+            args.nodes, args.vms_per_node, seed=args.seed, functional=False,
+            tracer=probe,
+        )
+        sc.sim.attach_probe(probe)
+        ck = _build_epoch_checkpointer(sc, args.arch, args.nodes, tracer=probe)
+        sc.sim.run_processes(ck.run_cycle())
+        return probe
+    # job: checkpointed work with failure injection — exercises the
+    # recovery track too
+    work = args.work * 3600.0
+    sc = paper_scenario(seed=args.seed, functional=True, tracer=probe)
+    sc.sim.attach_probe(probe)
+    rng = sc.rngs.stream("failures")
+    schedule = FailureSchedule.draw(
+        rng, Exponential(1.0 / (args.node_mtbf * 3600.0)),
+        sc.cluster.n_nodes, horizon=work * 10, repair_time=30.0,
+    )
+    injector = FailureInjector(
+        sc.sim, sc.cluster.n_nodes, schedule=schedule, tracer=probe
+    )
+    ck = _build_epoch_checkpointer(sc, args.arch, sc.cluster.n_nodes,
+                                   tracer=probe)
+    job = CheckpointedJob(
+        sc.cluster, ck, work=work, interval=args.interval,
+        injector=injector, repair_time=30.0,
+    )
+    injector.start()
+    proc = job.start()
+    sc.sim.run(until=work * 50)
+    if proc.ok is False:
+        raise proc.value
+    return probe
+
+
+def _add_scenario_flags(sp: argparse.ArgumentParser) -> None:
+    """What to run under instrumentation — shared by ``trace``/``metrics``."""
+    sp.add_argument("--scenario", choices=["epoch", "job", "fig5"],
+                    default="epoch",
+                    help="what to run under instrumentation")
+    sp.add_argument("--arch", choices=["dvdc", "diskful"], default="dvdc",
+                    help="epoch/job: checkpoint architecture")
+    sp.add_argument("--nodes", type=int, default=4, help="epoch: cluster size")
+    sp.add_argument("--vms-per-node", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--points", type=int, default=48,
+                    help="fig5: interval grid points")
+    sp.add_argument("--work", type=float, default=0.5, help="job: hours")
+    sp.add_argument("--interval", type=float, default=300.0,
+                    help="job: checkpoint interval, seconds")
+    sp.add_argument("--node-mtbf", type=float, default=2.0,
+                    help="job: per-node MTBF, hours")
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .telemetry import write_chrome_trace, write_jsonl
+
+    probe = _run_instrumented(args)
+    if args.format == "chrome":
+        out = args.out or "trace.json"
+        write_chrome_trace(out, probe.spans, clock=args.clock)
+        n = len(probe.spans.completed)
+        print(f"wrote {n} spans ({args.clock} clock) to {out}")
+    else:
+        out = args.out or "trace.jsonl"
+        write_jsonl(out, probe)
+        print(f"wrote {len(probe.records)} trace records, "
+              f"{len(probe.spans.completed)} spans to {out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .telemetry import prometheus_text, summary_table
+
+    probe = _run_instrumented(args)
+    if args.format == "prom":
+        text = prometheus_text(probe.metrics)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {len(text.splitlines())} lines to {args.out}")
+        else:
+            print(text, end="")
+    else:
+        print(summary_table(probe.metrics,
+                            title=f"telemetry: {args.scenario}"))
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .cluster import measure_xor_bandwidth
 
@@ -466,6 +587,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="study: job length, hours")
     _add_campaign_flags(cp)
     cp.set_defaults(func=_cmd_campaign)
+
+    tr = sub.add_parser("trace", help="telemetry span timelines")
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+    te = trsub.add_parser(
+        "export",
+        help="run an instrumented scenario and export its trace",
+    )
+    te.add_argument("--format", choices=["chrome", "jsonl"], default="chrome",
+                    help="chrome = Perfetto-loadable trace-event JSON; "
+                         "jsonl = one event per line")
+    te.add_argument("--out", default=None,
+                    help="output path (default trace.json / trace.jsonl)")
+    te.add_argument("--clock", choices=["sim", "wall"], default="sim",
+                    help="chrome: which clock drives the timeline")
+    _add_scenario_flags(te)
+    te.set_defaults(func=_cmd_trace_export)
+
+    me = sub.add_parser(
+        "metrics",
+        help="run an instrumented scenario and print its metrics",
+    )
+    me.add_argument("--format", choices=["prom", "table"], default="prom",
+                    help="prom = Prometheus text exposition; table = summary")
+    me.add_argument("--out", default=None,
+                    help="write to a file instead of stdout (prom only)")
+    _add_scenario_flags(me)
+    me.set_defaults(func=_cmd_metrics)
 
     ca = sub.add_parser("calibrate", help="measure host XOR bandwidth")
     ca.add_argument("--size", type=int, default=1 << 24, help="buffer bytes")

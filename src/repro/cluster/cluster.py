@@ -9,7 +9,6 @@ volatile stores vanish).
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..network.topology import (
     DEFAULT_LATENCY,

@@ -18,7 +18,7 @@ import numpy as np
 from .images import CheckpointImage, CheckpointKind
 from .memory import PageDelta
 from .node import PhysicalNode
-from .vm import VirtualMachine, VMError
+from .vm import VirtualMachine
 
 __all__ = ["Hypervisor", "HypervisorError"]
 

@@ -12,7 +12,7 @@ parity for a group must not live with any member.
 from __future__ import annotations
 
 from ..cluster.images import CheckpointImage, ParityBlock
-from .vm import VirtualMachine, VMState
+from .vm import VirtualMachine
 
 __all__ = ["PhysicalNode", "NodeError"]
 

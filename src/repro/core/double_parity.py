@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..checkpoint.base import CaptureStrategy, CheckpointCycleResult
 from ..checkpoint.coordinator import CoordinatedCheckpoint

@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..sim import NULL_TRACER, Simulator, Tracer
+from ..telemetry import probe_of
 from .distributions import Exponential, FailureDistribution
 
 __all__ = ["FailureEvent", "FailureInjector", "FailureSchedule"]
@@ -119,6 +120,7 @@ class FailureInjector:
         self.schedule = schedule
         self.repair_time = float(repair_time)
         self.tracer = tracer
+        self.probe = probe_of(tracer)
         self._subscribers: list[Callable[[FailureEvent], None]] = []
         self._delivered: list[FailureEvent] = []
         self._ordinals = [0] * n_nodes
@@ -172,6 +174,11 @@ class FailureInjector:
     def _deliver(self, ev: FailureEvent) -> None:
         self._delivered.append(ev)
         self.tracer.emit(self.sim.now, "failure.node", node=ev.node_id, ordinal=ev.ordinal)
+        self.probe.count(
+            "repro_failures_total",
+            help="Failures injected, by kind and failure domain",
+            kind="node", domain=f"node{ev.node_id}",
+        )
         for fn in self._subscribers:
             fn(ev)
 

@@ -23,7 +23,7 @@ incremental capture too).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "ClusterModel",

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..failures.distributions import Exponential, FailureDistribution
+from ..failures.distributions import FailureDistribution
 from .poisson import expected_time_with_overhead
 
 __all__ = [

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 from ..sim import NULL_TRACER, Simulator, SimEvent, Tracer
 from ..sim.engine import EventHandle
+from ..telemetry import probe_of
 
 __all__ = ["Link", "Flow", "Network", "NetworkError"]
 
@@ -130,6 +131,7 @@ class Network:
     def __init__(self, sim: Simulator, tracer: Tracer = NULL_TRACER):
         self.sim = sim
         self.tracer = tracer
+        self._probe = probe_of(tracer)
         self.links: dict[str, Link] = {}
         self._active: set[Flow] = set()
         self._flow_seq = 0
@@ -173,9 +175,14 @@ class Network:
         flow = Flow(self, links, size, label or f"flow{self._flow_seq}")
         self.tracer.emit(
             self.sim.now, "net.flow.start", label=flow.label, size=size,
-            path=[l.name for l in links],
+            path=[lk.name for lk in links],
         )
-        total_latency = sum(l.latency for l in links)
+        self._probe.count(
+            "repro_net_flows_total",
+            help="Flows started, by terminal link",
+            link=links[-1].name,
+        )
+        total_latency = sum(lk.latency for lk in links)
         if total_latency > 0.0:
             self.sim.schedule(total_latency, self._admit, flow)
         else:
@@ -207,13 +214,29 @@ class Network:
         flow.rate = 0.0
         if error is None:
             flow.remaining = 0.0
+            duration = self.sim.now - flow.started_at
             self.tracer.emit(
                 self.sim.now, "net.flow.done", label=flow.label, size=flow.size,
-                duration=self.sim.now - flow.started_at,
+                duration=duration,
             )
+            if self._probe.enabled:
+                terminal = flow.path[-1].name
+                self._probe.observe(
+                    "repro_net_flow_seconds", duration,
+                    help="Flow start-to-delivery time",
+                )
+                self._probe.count(
+                    "repro_net_flow_bytes_total", flow.size,
+                    help="Bytes delivered, by terminal link",
+                    link=terminal,
+                )
             flow.succeed(flow)
         else:
             self.tracer.emit(self.sim.now, "net.flow.abort", label=flow.label)
+            self._probe.count(
+                "repro_net_flow_aborts_total",
+                help="Flows aborted in flight",
+            )
             flow.fail(error)
         self._reallocate()
 
@@ -228,7 +251,7 @@ class Network:
         # Progressive filling: repeatedly saturate the most constrained
         # link, freezing its flows at the fair share.
         unfrozen: set[Flow] = set(self._active)
-        residual = {l: l.bandwidth for links in (self.links,) for l in links.values()}
+        residual = {lk: lk.bandwidth for lk in self.links.values()}
         rates: dict[Flow, float] = {}
         while unfrozen:
             # most constrained link among those carrying unfrozen flows
@@ -258,6 +281,19 @@ class Network:
             if flow.rate > 0.0:
                 eta = flow.remaining / flow.rate
                 flow._completion = self.sim.schedule(eta, self._complete, flow)
+
+        if self._probe.enabled:
+            for lk in self.links.values():
+                self._probe.gauge_set(
+                    "repro_link_utilization", lk.utilization,
+                    help="Allocated fraction of link capacity (0..1)",
+                    link=lk.name,
+                )
+                self._probe.gauge_set(
+                    "repro_link_active_flows", len(lk.flows),
+                    help="Flows contending on the link",
+                    link=lk.name,
+                )
 
     def _complete(self, flow: Flow) -> None:
         flow._completion = None

@@ -105,12 +105,30 @@ class Simulator:
     scheduling is side-effect free.  All times are floats in seconds.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0, probe: Any = None):
         self._now = float(start)
         self._heap: list[_HeapEntry] = []
         self._seq = itertools.count()
         self._running = False
         self._event_count = 0
+        self._probe = probe
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    @property
+    def probe(self) -> Any:
+        """The attached :class:`repro.telemetry.Probe`, or ``None``."""
+        return self._probe
+
+    def attach_probe(self, probe: Any) -> None:
+        """Attach a telemetry probe; it observes every executed event.
+
+        The hot loop guards on ``probe is not None and probe.enabled``,
+        so an absent or disabled probe costs one attribute check per
+        event (measured in ``benchmarks/bench_telemetry_overhead.py``).
+        """
+        self._probe = probe
 
     # ------------------------------------------------------------------
     # clock
@@ -178,6 +196,8 @@ class Simulator:
             handle.fired = True
             self._event_count += 1
             handle.fn(*handle.args)
+            if self._probe is not None and self._probe.enabled:
+                self._probe.sim_event(len(self._heap))
             return True
         return False
 
@@ -212,6 +232,8 @@ class Simulator:
                     entry.handle.fn(*entry.handle.args)
                 except StopSimulation:
                     break
+                if self._probe is not None and self._probe.enabled:
+                    self._probe.sim_event(len(self._heap))
                 executed += 1
             else:
                 # queue drained

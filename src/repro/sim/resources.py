@@ -20,7 +20,7 @@ from collections import deque
 from typing import Any, Deque
 
 from .engine import Simulator
-from .process import ProcessError, SimEvent
+from .process import SimEvent
 
 __all__ = ["Resource", "Store", "Container", "ResourceError"]
 

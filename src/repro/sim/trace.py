@@ -76,12 +76,44 @@ class Tracer:
 
 
 class _NullTracer(Tracer):
-    """Tracer that drops everything; shared singleton."""
+    """Tracer that drops everything; shared singleton.
+
+    Because the singleton is the default argument of dozens of
+    constructors, it must be *truly* inert: it exposes no mutable state
+    (``records`` is an empty tuple, not a shared list), ``enabled``
+    cannot be flipped on, and ``clear``/``select`` touch nothing — so no
+    caller can accidentally leak records into, or wipe state through,
+    the shared instance.
+    """
 
     def __init__(self) -> None:
-        super().__init__(enabled=False)
+        # deliberately no super().__init__ — a null tracer holds no state
+        pass
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        pass  # permanently disabled
+
+    @property
+    def records(self) -> tuple:  # type: ignore[override]
+        return ()
 
     def emit(self, time: float, kind: str, **data: Any) -> None:  # noqa: D102
+        pass
+
+    def select(
+        self,
+        kind: str | None = None,
+        prefix: str | None = None,
+        where: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        return []
+
+    def clear(self) -> None:
         pass
 
 

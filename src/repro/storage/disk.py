@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..sim import NULL_TRACER, Resource, Simulator, Tracer
+from ..telemetry import probe_of
 
 __all__ = ["DiskSpec", "Disk"]
 
@@ -69,12 +70,20 @@ class Disk:
         self.spec = spec or DiskSpec()
         self.name = name
         self.tracer = tracer
+        self._probe = probe_of(tracer)
         self._servers = Resource(sim, capacity=self.spec.channels)
         self.bytes_written = 0.0
         self.bytes_read = 0.0
         self.ops = 0
 
     def _io(self, nbytes: float, kind: str):
+        enqueued = self.sim.now
+        if self._probe.enabled:
+            self._probe.gauge_set(
+                "repro_disk_queue_depth", self.queue_length,
+                help="Requests waiting for a disk channel",
+                disk=self.name,
+            )
         req = self._servers.request()
         yield req
         start = self.sim.now
@@ -91,6 +100,17 @@ class Disk:
             self.sim.now, f"disk.{kind}", disk=self.name, nbytes=nbytes,
             queued=start - self.sim.now + self.spec.service_time(nbytes),
         )
+        if self._probe.enabled:
+            self._probe.observe(
+                "repro_disk_io_seconds", self.sim.now - enqueued,
+                help="Disk request queue + service time, by disk and op",
+                disk=self.name, op=kind,
+            )
+            self._probe.count(
+                "repro_disk_bytes_total", nbytes,
+                help="Disk bytes transferred, by disk and op",
+                disk=self.name, op=kind,
+            )
         return self.sim.now - start
 
     def write(self, nbytes: float):

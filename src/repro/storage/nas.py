@@ -14,10 +14,11 @@ bit-exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..sim import NULL_TRACER, Simulator, Tracer
+from ..telemetry import probe_of
 from .disk import Disk, DiskSpec
 
 __all__ = ["StoredObject", "NAS", "StorageError"]
@@ -58,8 +59,19 @@ class NAS:
         self.disk = Disk(sim, disk_spec, name="nas.disk", tracer=tracer)
         self.capacity_bytes = capacity_bytes
         self.tracer = tracer
+        self._probe = probe_of(tracer)
         self._catalog: dict[str, StoredObject] = {}
         self.bytes_stored = 0.0
+
+    def _sync_gauges(self) -> None:
+        self._probe.gauge_set(
+            "repro_nas_objects", len(self._catalog),
+            help="Objects in the NAS catalog",
+        )
+        self._probe.gauge_set(
+            "repro_nas_stored_bytes", self.bytes_stored,
+            help="Resident bytes in the NAS catalog",
+        )
 
     # ------------------------------------------------------------------
     # timed operations (process generators)
@@ -95,6 +107,10 @@ class NAS:
         obj = self.lookup(key)
         yield from self.disk.read(obj.size)
         self.tracer.emit(self.sim.now, "nas.fetch", key=key, size=obj.size)
+        self._probe.count("repro_nas_ops_total", help="NAS catalog operations",
+                          op="fetch")
+        self._probe.count("repro_nas_bytes_total", obj.size,
+                          help="NAS bytes moved, by operation", op="fetch")
         return obj
 
     # ------------------------------------------------------------------
@@ -110,6 +126,11 @@ class NAS:
         self._catalog[key] = obj
         self.bytes_stored += size
         self.tracer.emit(self.sim.now, "nas.store", key=key, size=size, version=version)
+        self._probe.count("repro_nas_ops_total", help="NAS catalog operations",
+                          op="store")
+        self._probe.count("repro_nas_bytes_total", size,
+                          help="NAS bytes moved, by operation", op="store")
+        self._sync_gauges()
         return obj
 
     def lookup(self, key: str) -> StoredObject:
@@ -125,6 +146,9 @@ class NAS:
         obj = self.lookup(key)
         del self._catalog[key]
         self.bytes_stored -= obj.size
+        self._probe.count("repro_nas_ops_total", help="NAS catalog operations",
+                          op="delete")
+        self._sync_gauges()
 
     def keys(self) -> list[str]:
         return sorted(self._catalog)

@@ -1,0 +1,65 @@
+"""Observability subsystem: metrics, spans, and trace export.
+
+The instrument that turns the simulator into a measurable system::
+
+    from repro.telemetry import Probe
+    from repro.telemetry.export import prometheus_text, write_chrome_trace
+
+    probe = Probe()
+    sc = paper_scenario(tracer=probe)        # every tracer= site accepts it
+    sc.sim.attach_probe(probe)               # engine counters too
+    ...run...
+    print(prometheus_text(probe.metrics))    # scrape-format dump
+    write_chrome_trace("trace.json", probe.spans)   # open in Perfetto
+
+See ``docs/observability.md`` for the metric catalog, span naming
+convention, export formats, and measured overhead.
+"""
+
+from .export import (
+    chrome_trace,
+    jsonl_events,
+    parse_prometheus_text,
+    prometheus_text,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    P2Quantile,
+)
+from .probe import NULL_PROBE, Probe, probe_of
+from .spans import Span, SpanError, SpanRecorder
+
+__all__ = [
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "P2Quantile",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "Span",
+    "SpanError",
+    "SpanRecorder",
+    "Probe",
+    "NULL_PROBE",
+    "probe_of",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_events",
+    "write_jsonl",
+    "summary_table",
+]

@@ -1,0 +1,264 @@
+"""Telemetry exporters: Prometheus text, Chrome trace JSON, JSONL, tables.
+
+Three wire formats plus a human summary:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` + samples; histograms as cumulative
+  ``_bucket{le=...}`` series with ``_sum``/``_count``);
+* :func:`chrome_trace` — the Chrome trace-event JSON object format,
+  loadable in Perfetto / ``chrome://tracing``;
+* :func:`jsonl_events` — one JSON object per line: every trace record,
+  every finished span, and a final metrics snapshot — the
+  grep/jq-friendly stream;
+* :func:`summary_table` — per-run text summary through
+  :func:`repro.analysis.render_table`.
+
+:func:`parse_prometheus_text` is the matching reader — it exists so the
+round-trip is testable without external dependencies, and doubles as a
+scrape-format sanity check.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .metrics import MetricsRegistry
+    from .probe import Probe
+    from .spans import SpanRecorder
+
+__all__ = [
+    "prometheus_text",
+    "parse_prometheus_text",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_events",
+    "write_jsonl",
+    "summary_table",
+]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+
+
+def _escape_label(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def prometheus_text(registry: "MetricsRegistry") -> str:
+    """Render every series in Prometheus text exposition format."""
+    lines: list[str] = []
+    for fam in registry.families():
+        lines.append(f"# HELP {fam.name} {fam.help}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for labels, series in fam.series():
+            if fam.kind == "counter":
+                lines.append(
+                    f"{fam.name}{_fmt_labels(labels)} {_fmt_value(series.value)}"
+                )
+            elif fam.kind == "gauge":
+                lines.append(
+                    f"{fam.name}{_fmt_labels(labels)} {_fmt_value(series.value)}"
+                )
+            else:  # histogram
+                for le, cum in series.cumulative_buckets():
+                    ble = dict(labels)
+                    ble["le"] = "+Inf" if math.isinf(le) else _fmt_value(le)
+                    lines.append(
+                        f"{fam.name}_bucket{_fmt_labels(ble)} {cum}"
+                    )
+                lines.append(
+                    f"{fam.name}_sum{_fmt_labels(labels)} {_fmt_value(series.sum)}"
+                )
+                lines.append(
+                    f"{fam.name}_count{_fmt_labels(labels)} {series.count}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse exposition text back to ``{name: {"type", "samples"}}``.
+
+    Samples are ``[(labels_dict, value), ...]``.  Understands exactly
+    what :func:`prometheus_text` emits (plus arbitrary label order) —
+    a deliberate round-trip companion, not a general scraper.
+    """
+    out: dict[str, dict] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            out.setdefault(name, {"type": kind.strip(), "samples": []})
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line: {line!r}")
+        labels: dict[str, str] = {}
+        if "{" in name_part:
+            name, _, labelblob = name_part.partition("{")
+            labelblob = labelblob.rstrip("}")
+            for item in _split_labels(labelblob):
+                k, _, v = item.partition("=")
+                labels[k] = json.loads(v)  # prometheus strings are JSON-safe
+        else:
+            name = name_part
+        value = float(value_part)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in out:
+                base = name[: -len(suffix)]
+                break
+        out.setdefault(base, {"type": "untyped", "samples": []})
+        out[base]["samples"].append((name, labels, value))
+    return out
+
+
+def _split_labels(blob: str) -> list[str]:
+    """Split ``a="x",b="y"`` respecting quotes."""
+    items, depth, cur = [], False, []
+    for ch in blob:
+        if ch == '"':
+            depth = not depth
+            cur.append(ch)
+        elif ch == "," and not depth:
+            items.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        items.append("".join(cur))
+    return [i for i in items if i]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+
+
+def chrome_trace(spans: "SpanRecorder", clock: str = "sim") -> dict:
+    """The Chrome trace-event *object format* document for ``spans``."""
+    return {
+        "traceEvents": spans.chrome_events(clock=clock),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": clock, "source": "repro.telemetry"},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path, spans: "SpanRecorder", clock: str = "sim"
+) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(chrome_trace(spans, clock=clock), indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# JSONL event stream
+
+
+def jsonl_events(probe: "Probe") -> Iterator[str]:
+    """Every telemetry artifact of a run as one JSON object per line.
+
+    Ordering: trace records (by emit order), finished spans (by begin
+    order), then one ``metrics_snapshot`` line.
+    """
+    for rec in probe.records:
+        yield json.dumps(
+            {"type": "trace", "time": rec.time, "kind": rec.kind,
+             "data": rec.data},
+            sort_keys=True, default=repr,
+        )
+    for span in probe.spans.completed:
+        yield json.dumps(
+            {
+                "type": "span",
+                "name": span.name,
+                "track": span.track,
+                "start_sim": span.start_sim,
+                "end_sim": span.end_sim,
+                "start_wall": span.start_wall,
+                "end_wall": span.end_wall,
+                "args": span.args,
+            },
+            sort_keys=True, default=repr,
+        )
+    yield json.dumps(
+        {"type": "metrics_snapshot", "metrics": probe.metrics.snapshot()},
+        sort_keys=True,
+    )
+
+
+def write_jsonl(path: str | Path, probe: "Probe") -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for line in jsonl_events(probe):
+            fh.write(line + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Human summary
+
+
+def summary_table(registry: "MetricsRegistry", title: str = "telemetry") -> str:
+    """One row per series: counts, sums, and latency quantiles."""
+    from ..analysis import render_table
+
+    rows: list[list[str]] = []
+    for fam in registry.families():
+        for labels, series in fam.series():
+            label_txt = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            if fam.kind == "counter":
+                rows.append([fam.name, label_txt, _fmt_value(series.value),
+                             "", "", ""])
+            elif fam.kind == "gauge":
+                peak = "" if math.isinf(series.max_value) else _fmt_value(
+                    series.max_value
+                )
+                rows.append([fam.name, label_txt, _fmt_value(series.value),
+                             peak, "", ""])
+            else:
+                qs = series.quantiles()
+                q50 = qs.get(0.5, math.nan)
+                q99 = qs.get(0.99, math.nan)
+                rows.append([
+                    fam.name,
+                    label_txt,
+                    str(series.count),
+                    "" if math.isinf(series.max) else f"{series.max:.4g}",
+                    "" if math.isnan(q50) else f"{q50:.4g}",
+                    "" if math.isnan(q99) else f"{q99:.4g}",
+                ])
+    return render_table(
+        ["metric", "labels", "value/count", "peak/max", "q50", "q99"],
+        rows,
+        title=title,
+    )

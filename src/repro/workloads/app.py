@@ -21,7 +21,7 @@ Semantics (matching the model):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cluster.cluster import VirtualCluster
 from ..failures.injector import FailureEvent, FailureInjector

@@ -22,7 +22,7 @@ class TestTimeline:
         assert "recovery" in out
         assert "repair" in out
         # checkpoint lane tallies 3 records
-        ckpt_line = next(l for l in out.splitlines() if "checkpoint" in l)
+        ckpt_line = next(ln for ln in out.splitlines() if "checkpoint" in ln)
         assert ckpt_line.rstrip().endswith("3")
         strip = ckpt_line.split("|")[1]  # between the lane pipes
         assert strip.count("c") == 3

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.campaign import (
+    execute_task_batch,
     CampaignRunner,
     ResultStore,
     Sweep,
@@ -268,3 +269,160 @@ class TestCampaignArtifacts:
         _, warm = run_study_campaign(jobs=1, **kwargs)
         assert cold.n_executed == 1
         assert warm.n_executed == 0 and warm.n_cached == 1
+
+
+class TestStoreCorruptTail:
+    """A crash mid-append must not brick resume (satellite fix)."""
+
+    def _warm_store(self, tmp_path, n=4):
+        tasks = _tiny_fig5_tasks(n)
+        store = ResultStore(tmp_path / "s")
+        result = CampaignRunner(store=store, jobs=1).run(tasks)
+        assert result.n_executed == len(tasks)
+        return store, tasks
+
+    def test_truncated_trailing_record_skipped_with_warning(self, tmp_path):
+        store, tasks = self._warm_store(tmp_path)
+        # simulate a crash mid-append: cut the last record in half
+        text = store.path.read_text(encoding="utf-8")
+        cut = text.rstrip("\n")
+        store.path.write_text(cut[: len(cut) - len(cut.splitlines()[-1]) // 2],
+                              encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="corrupt record"):
+            reopened = ResultStore(store.root)
+        assert reopened.skipped_lines == 1
+        assert len(reopened) == len(tasks) - 1
+
+    def test_resume_after_truncation_reexecutes_only_lost_task(self, tmp_path):
+        store, tasks = self._warm_store(tmp_path)
+        text = store.path.read_text(encoding="utf-8")
+        store.path.write_text(text[:-20], encoding="utf-8")
+        with pytest.warns(RuntimeWarning):
+            reopened = ResultStore(store.root)
+        result = CampaignRunner(store=reopened, jobs=1).run(tasks)
+        assert result.n_failed == 0
+        assert result.n_executed == 1  # only the damaged record's task
+        assert result.n_cached == len(tasks) - 1
+
+    def test_file_compacted_so_appends_are_safe(self, tmp_path):
+        store, tasks = self._warm_store(tmp_path)
+        text = store.path.read_text(encoding="utf-8")
+        store.path.write_text(text[:-20], encoding="utf-8")
+        with pytest.warns(RuntimeWarning):
+            reopened = ResultStore(store.root)
+        # the partial line is gone and the file ends on a line boundary
+        healed = store.path.read_text(encoding="utf-8")
+        assert healed.endswith("\n")
+        for line in healed.splitlines():
+            json.loads(line)
+        # a post-heal append produces a loadable store with all records
+        CampaignRunner(store=reopened, jobs=1).run(tasks)
+        final = ResultStore(store.root)
+        assert final.skipped_lines == 0
+        assert len(final) == len(tasks)
+
+    def test_interior_garbage_line_skipped(self, tmp_path):
+        store, tasks = self._warm_store(tmp_path)
+        lines = store.path.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "not json at all {{{")
+        lines.insert(3, '{"no_key_field": 1}')
+        store.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.warns(RuntimeWarning):
+            reopened = ResultStore(store.root)
+        assert reopened.skipped_lines == 2
+        assert len(reopened) == len(tasks)
+
+    def test_clean_store_untouched(self, tmp_path):
+        store, _ = self._warm_store(tmp_path)
+        before = store.path.read_text(encoding="utf-8")
+        reopened = ResultStore(store.root)
+        assert reopened.skipped_lines == 0
+        assert store.path.read_text(encoding="utf-8") == before
+
+
+class TestRunnerBatching:
+    """Chunked pool submissions (satellite fix for the 9x slowdown)."""
+
+    def test_chunk_contiguous_and_complete(self):
+        pending = list(range(23))
+        batches = CampaignRunner._chunk(pending, jobs=4)
+        assert [i for b in batches for i in b] == pending  # order preserved
+        assert len(batches) <= 4 * 4 + 1
+        assert all(b == list(range(b[0], b[0] + len(b))) for b in batches)
+
+    def test_chunk_small_workloads(self):
+        assert CampaignRunner._chunk([0], jobs=8) == [[0]]
+        assert CampaignRunner._chunk([0, 1, 2], jobs=2) == [[0], [1], [2]]
+
+    def test_execute_task_batch_matches_singles(self):
+        tasks = _tiny_fig5_tasks(3)
+        dicts = [t.to_dict() for t in tasks]
+        batched = execute_task_batch(dicts)
+        singles = [execute_task(d) for d in dicts]
+        # identical outcomes and values; elapsed is wall time, so skip it
+        for a, b in zip(batched, singles):
+            assert (a["ok"], a["value"], a["error"]) == (
+                b["ok"], b["value"], b["error"]
+            )
+
+    def test_jobs4_bit_identical_to_jobs1(self):
+        tasks = _tiny_fig5_tasks(8)
+        r1 = CampaignRunner(jobs=1).run(tasks)
+        r4 = CampaignRunner(jobs=4).run(tasks)
+        assert r1.n_failed == r4.n_failed == 0
+        # bit-for-bit: every value, in task order
+        for a, b in zip(r1.runs, r4.runs):
+            assert a.task.key == b.task.key
+            assert a.value == b.value
+
+    def test_batched_failures_stay_isolated_and_ordered(self):
+        good = _tiny_fig5_tasks(4)
+        bad = Task("fig5_point", {"method": "diskful"})  # missing params
+        tasks = [good[0], bad, good[1], good[2], bad, good[3]]
+        result = CampaignRunner(jobs=3).run(tasks)
+        assert [r.ok for r in result.runs] == [
+            True, False, True, True, False, True
+        ]
+
+
+class TestRunnerProbe:
+    def test_probe_records_tasks_and_span(self):
+        from repro.telemetry import Probe
+
+        probe = Probe()
+        tasks = _tiny_fig5_tasks(4)
+        CampaignRunner(jobs=1, probe=probe).run(tasks)
+        snap = probe.metrics.snapshot()
+        executed = [
+            s for s in snap["repro_campaign_tasks_total"]["series"]
+            if s["labels"]["state"] == "executed"
+        ]
+        assert sum(s["value"] for s in executed) == len(tasks)
+        hist = snap["repro_campaign_task_seconds"]["series"][0]
+        assert hist["count"] == len(tasks)
+        assert snap["repro_campaign_workers"]["series"][0]["value"] == 1
+        spans = probe.spans.select(name="campaign.run")
+        assert len(spans) == 1 and spans[0].finished
+
+    def test_probe_counts_cached_separately(self, tmp_path):
+        from repro.telemetry import Probe
+
+        store = ResultStore(tmp_path / "s")
+        tasks = _tiny_fig5_tasks(4)
+        CampaignRunner(store=store, jobs=1).run(tasks)
+        probe = Probe()
+        CampaignRunner(store=store, jobs=1, probe=probe).run(tasks)
+        snap = probe.metrics.snapshot()
+        states = {
+            s["labels"]["state"]: s["value"]
+            for s in snap["repro_campaign_tasks_total"]["series"]
+        }
+        assert states == {"cached": float(len(tasks))}
+
+    def test_no_probe_is_default_and_inert(self):
+        runner = CampaignRunner(jobs=1)
+        from repro.telemetry import NULL_PROBE
+
+        assert runner.probe is NULL_PROBE
+        runner.run(_tiny_fig5_tasks(2))  # must not record or raise
+        assert len(NULL_PROBE.spans) == 0

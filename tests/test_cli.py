@@ -169,3 +169,85 @@ class TestStudyCommand:
             "--node-mtbf", "48", "--methods", "diskful+overlap",
         ]) == 0
         assert "diskful+overlap" in capsys.readouterr().out
+
+
+class TestTelemetryCommands:
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_export_defaults(self):
+        args = build_parser().parse_args(["trace", "export"])
+        assert args.format == "chrome"
+        assert args.clock == "sim"
+        assert args.scenario == "epoch"
+        assert args.out is None
+
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.format == "prom"
+        assert args.scenario == "epoch"
+
+    def test_trace_export_chrome_validates(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "export", "--scenario", "epoch",
+                     "--arch", "diskful", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        dur = [e for e in events if e["ph"] in "BE"]
+        assert dur, "no duration events exported"
+        ts = [e["ts"] for e in dur]
+        assert ts == sorted(ts)
+        stacks = {}
+        for e in dur:
+            s = stacks.setdefault(e["tid"], [])
+            if e["ph"] == "B":
+                s.append(e["name"])
+            else:
+                assert s.pop() == e["name"]
+        assert all(not s for s in stacks.values())
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_export_jsonl(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "export", "--format", "jsonl",
+                     "--out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert docs[-1]["type"] == "metrics_snapshot"
+        assert any(d["type"] == "span" for d in docs)
+
+    def test_metrics_prom_output_parses(self, capsys):
+        from repro.telemetry import parse_prometheus_text
+
+        assert main(["metrics", "--scenario", "epoch"]) == 0
+        text = capsys.readouterr().out
+        parsed = parse_prometheus_text(text)
+        assert "repro_sim_events_total" in parsed
+        assert "repro_checkpoint_pause_seconds" in parsed
+
+    def test_metrics_table_output(self, capsys):
+        assert main(["metrics", "--format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_sim_events_total" in out
+
+    def test_metrics_prom_to_file(self, tmp_path, capsys):
+        from repro.telemetry import parse_prometheus_text
+
+        out = tmp_path / "metrics.prom"
+        assert main(["metrics", "--out", str(out)]) == 0
+        assert "repro_sim_events_total" in parse_prometheus_text(
+            out.read_text()
+        )
+
+    def test_fig5_scenario_campaign_metrics(self, capsys):
+        from repro.telemetry import parse_prometheus_text
+
+        assert main(["metrics", "--scenario", "fig5", "--points", "8"]) == 0
+        parsed = parse_prometheus_text(capsys.readouterr().out)
+        assert "repro_campaign_tasks_total" in parsed
+        assert "repro_campaign_task_seconds" in parsed

@@ -12,7 +12,6 @@ from repro.cluster import (
     NodeError,
     ParityBlock,
     PhysicalNode,
-    VirtualCluster,
     VirtualMachine,
     VMError,
     VMState,

@@ -4,7 +4,7 @@ architectures (Figs. 1, 3, 4): cycles, parity invariants, recovery."""
 import numpy as np
 import pytest
 
-from repro.checkpoint import ForkedCapture, IncrementalCapture
+from repro.checkpoint import IncrementalCapture
 from repro.cluster import ClusterSpec, VirtualCluster, VMState, xor_reduce
 from repro.core import checkpoint_node, dvdc, first_shot, validate_layout
 

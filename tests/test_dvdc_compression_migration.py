@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.checkpoint import CompressionModel, IncrementalCapture
+from repro.checkpoint import CompressionModel
 from repro.core import dvdc, rebalance_after_migration, validate_layout
 from repro.migration import PrecopyModel, live_migrate
-from repro.sim import Interrupt
 from repro.workloads import paper_scenario
 
 from conftest import run_process

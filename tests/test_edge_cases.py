@@ -149,10 +149,10 @@ class TestFig5Csv:
         lines = path.read_text().splitlines()
         assert lines[0] == "interval_seconds,diskless_ratio,diskful_ratio"
         # data rows parse as floats and dominate the file
-        data = [l for l in lines[1:] if l and not l.startswith(("optimum", "diskless", "diskful"))]
-        xs = [float(l.split(",")[0]) for l in data]
+        data = [ln for ln in lines[1:] if ln and not ln.startswith(("optimum", "diskless", "diskful"))]
+        xs = [float(ln.split(",")[0]) for ln in data]
         assert xs == sorted(xs)
-        assert any(l.startswith("diskless") for l in lines)
+        assert any(ln.startswith("diskless") for ln in lines)
 
     def test_to_rows(self):
         s = fig5().diskless

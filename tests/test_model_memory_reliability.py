@@ -134,7 +134,6 @@ class TestReliabilityVsSimulation:
         """The analytical survival probability should be in the same
         band as the end-to-end simulation's completion rate under dense
         failures (EXPERIMENTS.md completion-rate note)."""
-        import traceback
 
         from repro import CheckpointedJob, dvdc, paper_scenario
         from repro.checkpoint import IncrementalCapture

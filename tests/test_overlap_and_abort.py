@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.checkpoint import DiskfulCheckpointer
-from repro.cluster import xor_reduce
 from repro.core import dvdc
 from repro.failures import FailureEvent, FailureInjector, FailureSchedule
 from repro.workloads import CheckpointedJob, paper_scenario

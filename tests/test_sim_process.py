@@ -7,9 +7,7 @@ from repro.sim import (
     AnyOf,
     Interrupt,
     ProcessError,
-    SimEvent,
     Simulator,
-    Timeout,
 )
 
 from conftest import run_process

@@ -5,7 +5,7 @@ import pytest
 
 from repro.checkpoint import DiskfulCheckpointer, IncrementalCapture
 from repro.core import dvdc
-from repro.failures import Exponential, FailureEvent, FailureInjector, FailureSchedule
+from repro.failures import FailureEvent, FailureInjector, FailureSchedule
 from repro.workloads import (
     CheckpointedJob,
     HotColdDirty,
