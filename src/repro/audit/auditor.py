@@ -1,0 +1,137 @@
+"""The live audit hook: invariant sweeps wired into the protocol.
+
+:class:`Auditor` plugs into :class:`~repro.core.dvdc.DisklessCheckpointer`
+(``auditor=`` kwarg or ``attach_auditor``) and runs a full invariant
+sweep after every cycle and every recovery, plus a lightweight sanity
+check on capture outcomes at barrier resume.  The core stays import-free
+of this module — the hooks are duck-typed (``post_cycle`` /
+``post_recovery`` / ``post_capture``), so audit support costs nothing
+when no auditor is attached.
+
+Findings surface three ways: accumulated on :attr:`Auditor.reports`,
+emitted as trace records, and counted in telemetry
+(``repro_audits_total`` / ``repro_audit_violations_total``).
+"""
+
+from __future__ import annotations
+
+from ..cluster.vm import VMState
+from ..sim import NULL_TRACER, Tracer
+from ..telemetry import probe_of
+from .invariants import AuditReport, Violation, audit_cluster
+
+__all__ = ["Auditor", "AuditError"]
+
+
+class AuditError(RuntimeError):
+    """Raised by :meth:`Auditor.assert_ok` when fatal violations exist."""
+
+
+class Auditor:
+    """Runs invariant sweeps against one checkpointer's cluster + layout.
+
+    ``strict`` controls whether degraded observations (dead nodes,
+    failed VMs, co-located placements awaiting ``heal()``) are promoted
+    to fatal.  The in-protocol hooks always audit non-strict — mid-
+    recovery states are legitimately degraded; run :meth:`run` with
+    ``strict=True`` yourself at quiescent points.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        layout,
+        tracer: Tracer = NULL_TRACER,
+        strict: bool = False,
+    ):
+        self.cluster = cluster
+        self.layout = layout
+        self.tracer = tracer
+        self.probe = probe_of(tracer)
+        self.strict = strict
+        self.reports: list[AuditReport] = []
+        self.n_audits = 0
+        self.stale_captures_seen = 0
+
+    # ------------------------------------------------------------------
+    # core sweep
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        committed_epoch: int,
+        context: str = "manual",
+        strict: bool | None = None,
+    ) -> AuditReport:
+        """One full invariant sweep; records, traces, and counts it."""
+        report = audit_cluster(
+            self.cluster,
+            self.layout,
+            committed_epoch,
+            strict=self.strict if strict is None else strict,
+            context=context,
+        )
+        self.reports.append(report)
+        self.n_audits += 1
+        self.probe.count(
+            "repro_audits_total", help="Invariant sweeps run", context=context,
+        )
+        for v in report.violations:
+            if v.severity == "fatal":
+                self.probe.count(
+                    "repro_audit_violations_total",
+                    help="Fatal invariant violations found",
+                    invariant=v.invariant,
+                )
+        if report.fatal:
+            self.tracer.emit(
+                self.cluster.sim.now, "audit.violations", context=context,
+                fatal=[str(v) for v in report.fatal],
+            )
+        return report
+
+    @property
+    def violations(self) -> list[Violation]:
+        """All fatal findings across every sweep so far."""
+        return [v for r in self.reports for v in r.fatal]
+
+    def assert_ok(self) -> None:
+        """Raise :class:`AuditError` if any sweep found a fatal violation."""
+        bad = self.violations
+        if bad:
+            raise AuditError(
+                f"{len(bad)} invariant violation(s): "
+                + "; ".join(str(v) for v in bad[:5])
+            )
+
+    # ------------------------------------------------------------------
+    # protocol hooks (duck-typed from core/dvdc and checkpoint/coordinator)
+    # ------------------------------------------------------------------
+    def post_cycle(self, ck, result) -> AuditReport:
+        context = "post_cycle" if result.committed else "post_abort"
+        return self.run(ck.committed_epoch, context=context, strict=False)
+
+    def post_recovery(self, ck, report) -> AuditReport:
+        return self.run(ck.committed_epoch, context="post_recovery", strict=False)
+
+    def post_capture(self, epoch: int, outcomes, dropped) -> None:
+        """Barrier-resume sanity: no outcome may belong to a failed VM."""
+        self.stale_captures_seen += len(dropped)
+        for o in outcomes:
+            if self.cluster.vm(o.image.vm_id).state == VMState.FAILED:
+                v = Violation(
+                    "capture-liveness", "fatal", f"vm {o.image.vm_id}",
+                    f"capture outcome for epoch {epoch} returned for a "
+                    "VM that failed inside the barrier window",
+                )
+                report = AuditReport(
+                    checked_at=self.cluster.sim.now,
+                    committed_epoch=epoch,
+                    context="post_capture",
+                )
+                report.violations.append(v)
+                self.reports.append(report)
+                self.probe.count(
+                    "repro_audit_violations_total",
+                    help="Fatal invariant violations found",
+                    invariant=v.invariant,
+                )

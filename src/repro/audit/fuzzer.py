@@ -1,0 +1,444 @@
+"""Seeded fault-schedule fuzzer for the diskless checkpoint protocol.
+
+Random failure *times* (Poisson injectors) rarely land inside the narrow
+windows where checkpoint protocols actually break — the barrier pause,
+the exchange, the middle of a rebuild.  This fuzzer aims failures at
+exactly those instants: a :class:`FaultSpec` names a protocol *phase*
+(``mid_pause``, ``mid_exchange``, ``post_commit``, ``mid_recovery``,
+``idle``) and a fractional position inside it, and the trial driver
+converts that into a concrete ``kill_node`` at the adversarial moment.
+
+One trial = one seeded schedule driven through ``n_cycles`` checkpoint
+epochs of a :class:`~repro.core.dvdc.DisklessCheckpointer` with an
+:class:`~repro.audit.auditor.Auditor` attached; every invariant is
+swept after each cycle and recovery, strict sweeps plus a bit-exact
+comparison against independently snapshotted images run at quiescent
+points.  Double failures the single-parity code provably cannot absorb
+end the trial as *unrecoverable* — that is the protocol saying no, not a
+bug.  Everything else (invariant violation, unexpected exception) fails
+the trial, and :func:`shrink` then removes faults one at a time to find
+a minimal failing reproducer.
+
+Everything is deterministic in ``seed``: schedules are drawn from
+``default_rng([seed, ...])`` streams and the simulator is discrete-
+event, so a ``(config, schedule, seed)`` triple replays exactly.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..checkpoint.strategies import ForkedCapture, FullCapture, IncrementalCapture
+from ..cluster.cluster import ClusterSpec, VirtualCluster
+from ..core.architectures import checkpoint_node, dvdc, first_shot
+from ..failures.injector import FailureEvent
+from ..sim import NULL_TRACER, Simulator, Tracer
+from ..telemetry import probe_of
+from .auditor import Auditor
+from .invariants import FATAL, Violation
+
+__all__ = [
+    "PHASES",
+    "LAYOUTS",
+    "FaultSpec",
+    "FuzzConfig",
+    "TrialResult",
+    "FuzzResult",
+    "draw_schedule",
+    "canonical_schedule",
+    "run_trial",
+    "shrink",
+    "fuzz",
+]
+
+#: protocol phases a fault can target, in within-cycle firing order
+PHASES = ("idle", "mid_pause", "mid_exchange", "post_commit", "mid_recovery")
+
+#: paper figures the fuzzer knows how to build
+LAYOUTS = ("fig1", "fig3", "fig4")
+
+#: RuntimeError messages that mean "legitimately unrecoverable under
+#: single parity" rather than "bug" — raised by the recovery path when a
+#: double failure exceeds the code's tolerance
+_UNRECOVERABLE_MARKERS = (
+    "beyond single-parity",
+    "exceeds XOR parity",
+    "unrecoverable with single parity",
+    "no alive node",
+    "no eligible parity node",
+    "has no committed checkpoint",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One adversarially-timed node kill.
+
+    ``frac`` positions the kill inside the targeted phase window
+    (0 = its start, 1 = its end); ``cycle`` indexes the checkpoint
+    cycle the fault belongs to.
+    """
+
+    cycle: int
+    phase: str
+    node: int
+    frac: float
+
+    def __post_init__(self):
+        if self.phase not in PHASES:
+            raise ValueError(f"unknown phase {self.phase!r}")
+        if not (0.0 <= self.frac <= 1.0):
+            raise ValueError(f"frac must be in [0, 1], got {self.frac}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"cycle {self.cycle}: kill node {self.node} at {self.phase}+{self.frac:.2f}"
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Cluster + workload shape for one fuzzing campaign."""
+
+    layout: str = "fig4"
+    n_nodes: int = 4
+    vms_per_node: int = 3
+    n_cycles: int = 4
+    max_faults: int = 2
+    interval: float = 120.0
+    vm_memory: float = 256e6
+    image_pages: int = 32
+    page_size: int = 128
+    heterogeneous: bool = False
+    strategy: str = "forked"
+
+    def __post_init__(self):
+        if self.layout not in LAYOUTS:
+            raise ValueError(f"layout must be one of {LAYOUTS}, got {self.layout!r}")
+        if self.n_nodes < 3:
+            raise ValueError("fuzzing needs >= 3 nodes")
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one schedule driven to completion (or to a wall)."""
+
+    seed: int
+    config: FuzzConfig
+    schedule: tuple[FaultSpec, ...]
+    commits: int = 0
+    aborts: int = 0
+    recoveries: int = 0
+    faults_fired: list[FailureEvent] = field(default_factory=list)
+    unrecoverable: str | None = None
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        """True when the trial exposed a bug (never for clean runs or
+        legitimately unrecoverable double failures)."""
+        return bool(self.violations)
+
+
+@dataclass
+class FuzzResult:
+    """Aggregate over a batch of seeds for one config."""
+
+    config: FuzzConfig
+    trials: list[TrialResult] = field(default_factory=list)
+    elapsed: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def failures(self) -> list[TrialResult]:
+        return [t for t in self.trials if t.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def n_violations(self) -> int:
+        return sum(len(t.violations) for t in self.trials)
+
+
+# ----------------------------------------------------------------------
+# schedule generation
+# ----------------------------------------------------------------------
+def draw_schedule(rng: np.random.Generator, config: FuzzConfig) -> tuple[FaultSpec, ...]:
+    """Draw an adversarial fault schedule.
+
+    Phase choice is uniform (every window gets pressure), node choice is
+    uniform, position is kept off the exact window edges.  Up to
+    ``max_faults`` faults may share a cycle — that is how back-to-back
+    failures (the double-fault torture case) arise.
+    """
+    n = int(rng.integers(0, config.max_faults + 1))
+    faults = [
+        FaultSpec(
+            cycle=int(rng.integers(0, config.n_cycles)),
+            phase=PHASES[int(rng.integers(0, len(PHASES)))],
+            node=int(rng.integers(0, config.n_nodes)),
+            frac=float(rng.uniform(0.1, 0.9)),
+        )
+        for _ in range(n)
+    ]
+    faults.sort(key=lambda f: (f.cycle, PHASES.index(f.phase), f.frac, f.node))
+    return tuple(faults)
+
+
+def canonical_schedule(config: FuzzConfig) -> tuple[FaultSpec, ...]:
+    """The textbook single-failure case: one mid-interval kill of node 0
+    partway through the run — the scenario of the paper's Section VI."""
+    return (FaultSpec(cycle=config.n_cycles // 2, phase="idle", node=0, frac=0.5),)
+
+
+# ----------------------------------------------------------------------
+# trial driver
+# ----------------------------------------------------------------------
+_STRATEGIES = {
+    "forked": ForkedCapture,
+    "full": FullCapture,
+    "incremental": IncrementalCapture,
+}
+
+
+def _build(config: FuzzConfig, seed: int, tracer: Tracer):
+    """Deterministically build (sim, cluster, checkpointer, auditor)."""
+    sim = Simulator()
+    cluster = VirtualCluster(sim, ClusterSpec(n_nodes=config.n_nodes), tracer=tracer)
+    content = np.random.default_rng([seed, 0xC0])
+    shape = np.random.default_rng([seed, 0x51])
+    # fig1/fig3 reserve the last node for parity; fig4 computes everywhere
+    compute_nodes = (
+        range(config.n_nodes - 1) if config.layout in ("fig1", "fig3")
+        else range(config.n_nodes)
+    )
+    per_node = 1 if config.layout == "fig1" else config.vms_per_node
+    for node in compute_nodes:
+        for _ in range(per_node):
+            factor = (
+                int(shape.choice([1, 2, 4])) if config.heterogeneous else 1
+            )
+            vm = cluster.create_vm(
+                node,
+                config.vm_memory * factor,
+                image_pages=config.image_pages * factor,
+                page_size=config.page_size,
+            )
+            vm.image.write(
+                0,
+                content.integers(
+                    0, 256, vm.image.nbytes // 2, dtype=np.uint8
+                ),
+            )
+            vm.image.clear_dirty()
+    strategy = _STRATEGIES[config.strategy]()
+    if config.layout == "fig1":
+        ck = first_shot(cluster, strategy=strategy, tracer=tracer)
+    elif config.layout == "fig3":
+        ck = checkpoint_node(
+            cluster, config.n_nodes - 1, strategy=strategy, tracer=tracer
+        )
+    else:
+        ck = dvdc(cluster, strategy=strategy, tracer=tracer)
+    auditor = Auditor(cluster, ck.layout, tracer=tracer)
+    ck.attach_auditor(auditor)
+    return sim, cluster, ck, auditor
+
+
+def run_trial(
+    config: FuzzConfig,
+    schedule: tuple[FaultSpec, ...],
+    seed: int,
+    tracer: Tracer = NULL_TRACER,
+) -> TrialResult:
+    """Drive one schedule through ``n_cycles`` epochs and audit throughout."""
+    sim, cluster, ck, auditor = _build(config, seed, tracer)
+    dirt = np.random.default_rng([seed, 0xD1])
+    trial = TrialResult(seed=seed, config=config, schedule=schedule)
+    expected: dict[int, np.ndarray] = {}
+    pending: list[int] = []  # killed nodes awaiting recovery
+
+    def kill(node_id: int) -> None:
+        if not cluster.node(node_id).alive:
+            return  # already down: the fault is a no-op
+        cluster.kill_node(node_id)
+        trial.faults_fired.append(
+            FailureEvent(time=sim.now, node_id=node_id,
+                         ordinal=len(trial.faults_fired))
+        )
+        pending.append(node_id)
+
+    def snapshot_committed() -> None:
+        expected.clear()
+        for vm in cluster.all_vms:
+            if vm.node_id is None:
+                continue
+            img = cluster.hypervisor(vm.node_id).committed(vm.vm_id)
+            if img is not None and img.payload is not None:
+                expected[vm.vm_id] = img.payload_flat().copy()
+
+    class Unrecoverable(Exception):
+        pass
+
+    def drain(cycle: int, rec_est: float):
+        """Recover + repair + heal until no failed node remains."""
+        while pending:
+            node = pending.pop(0)
+            for f in schedule:
+                if f.cycle == cycle and f.phase == "mid_recovery":
+                    sim.schedule(max(f.frac * rec_est, 1e-9), kill, f.node)
+            try:
+                yield from ck.recover(node)
+            except RuntimeError as exc:
+                if any(m in str(exc) for m in _UNRECOVERABLE_MARKERS):
+                    raise Unrecoverable(str(exc)) from exc
+                raise
+            trial.recoveries += 1
+            cluster.repair_node(node)
+            yield from ck.heal()
+
+    def quiescent_audit(where: str) -> None:
+        if pending or any(not n.alive for n in cluster.nodes):
+            return
+        auditor.run(ck.committed_epoch, context=f"quiescent:{where}", strict=True)
+        for vm_id, want in expected.items():
+            vm = cluster.vm(vm_id)
+            if vm.node_id is None:
+                continue
+            img = cluster.hypervisor(vm.node_id).committed(vm_id)
+            got = img.payload_flat() if img is not None and img.payload is not None else None
+            if got is None or not np.array_equal(got, want):
+                trial.violations.append(Violation(
+                    "bit-exact", FATAL, f"vm {vm_id}",
+                    f"committed image at {where} differs from the snapshot "
+                    "taken at its commit point",
+                ))
+
+    def driver():
+        # priming epoch: every trial starts from a committed checkpoint
+        prime = yield from ck.run_cycle()
+        assert prime.committed
+        trial.commits += 1
+        snapshot_committed()
+        pause_est = max(prime.overhead, 1e-3)
+        cycle_est = max(prime.latency, pause_est * 2)
+        rec_est = max(cycle_est - pause_est, 1e-3)
+
+        for cycle in range(config.n_cycles):
+            # -- dwell: the application runs and dirties memory ----------
+            for f in schedule:
+                if f.cycle == cycle and f.phase == "idle":
+                    sim.schedule(f.frac * config.interval, kill, f.node)
+            for vm in cluster.all_vms:
+                if vm.node_id is not None and vm.image is not None:
+                    vm.image.touch_pages(
+                        dirt.integers(0, vm.image.n_pages, 4), dirt
+                    )
+            yield sim.timeout(config.interval)
+            yield from drain(cycle, rec_est)
+
+            # -- checkpoint, with faults aimed inside its windows --------
+            for f in schedule:
+                if f.cycle == cycle and f.phase == "mid_pause":
+                    sim.schedule(max(f.frac * pause_est, 1e-9), kill, f.node)
+                elif f.cycle == cycle and f.phase == "mid_exchange":
+                    sim.schedule(
+                        pause_est + f.frac * (cycle_est - pause_est), kill, f.node
+                    )
+            result = yield from ck.run_cycle()
+            if result.committed:
+                trial.commits += 1
+                snapshot_committed()
+            else:
+                trial.aborts += 1
+            for f in schedule:
+                if f.cycle == cycle and f.phase == "post_commit":
+                    kill(f.node)
+            yield from drain(cycle, rec_est)
+            quiescent_audit(f"cycle {cycle}")
+
+        yield from drain(config.n_cycles, rec_est)
+        quiescent_audit("end")
+
+    proc = sim.process(driver())
+    sim.run()
+    if proc.ok is False:
+        exc = proc.value
+        if isinstance(exc, Unrecoverable):
+            trial.unrecoverable = str(exc)
+        else:
+            trial.violations.append(Violation(
+                "no-crash", FATAL, type(exc).__name__,
+                f"trial crashed at t={sim.now:.3f}: {exc}",
+            ))
+    trial.violations.extend(auditor.violations)
+    return trial
+
+
+# ----------------------------------------------------------------------
+# shrinking + campaign loop
+# ----------------------------------------------------------------------
+def shrink(
+    config: FuzzConfig,
+    schedule: tuple[FaultSpec, ...],
+    seed: int,
+    tracer: Tracer = NULL_TRACER,
+) -> tuple[FaultSpec, ...]:
+    """Greedy delta-debugging: repeatedly drop any single fault whose
+    removal keeps the trial failing, until the schedule is 1-minimal."""
+    current = tuple(schedule)
+    progress = True
+    while progress and len(current) > 1:
+        progress = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            if run_trial(config, candidate, seed, tracer).failed:
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def fuzz(
+    config: FuzzConfig,
+    seeds: int = 25,
+    budget: float | None = None,
+    shrink_failing: bool = True,
+    tracer: Tracer = NULL_TRACER,
+    base_seed: int = 0,
+) -> FuzzResult:
+    """Run ``seeds`` independent schedules against one config.
+
+    ``budget`` (wall-clock seconds) stops the campaign early — partial
+    results are still returned with ``budget_exhausted`` set.  Failing
+    schedules are shrunk to minimal reproducers (stored back on the
+    trial's ``schedule``; the original stays in ``violations`` context).
+    """
+    probe = probe_of(tracer)
+    out = FuzzResult(config=config)
+    t0 = _time.monotonic()
+    for i in range(seeds):
+        if budget is not None and _time.monotonic() - t0 > budget:
+            out.budget_exhausted = True
+            break
+        seed = base_seed + i
+        schedule = draw_schedule(
+            np.random.default_rng([seed, 0x5C]), config
+        )
+        trial = run_trial(config, schedule, seed, tracer)
+        probe.count(
+            "repro_fuzz_trials_total",
+            help="Fault-schedule fuzz trials run",
+            layout=config.layout,
+            outcome="failed" if trial.failed else (
+                "unrecoverable" if trial.unrecoverable else "clean"
+            ),
+        )
+        if trial.failed and shrink_failing and len(trial.schedule) > 1:
+            trial.schedule = shrink(config, trial.schedule, seed, tracer)
+        out.trials.append(trial)
+    out.elapsed = _time.monotonic() - t0
+    return out

@@ -1,0 +1,358 @@
+"""Executable safety invariants for the diskless checkpoint protocol.
+
+The paper's correctness claim (Sections IV & VI) is that after any
+single node failure the lost VMs are rebuilt *bit-exactly* from
+survivors + parity.  That claim decomposes into a handful of state
+invariants that must hold whenever the cluster is quiescent (no failure
+mid-flight, recovery drained):
+
+* **parity coherence** — every group's stored parity block equals the
+  padded XOR of its members' committed checkpoint payloads;
+* **layout validity** — members of a group live on pairwise distinct
+  nodes and the parity node hosts none of them (Fig. 2's orthogonality
+  rules; may be *degraded* while a crashed node awaits repair);
+* **epoch coherence** — every committed artifact (member image, parity
+  block, VM epoch marker) agrees on ``committed_epoch``;
+* **two-phase atomicity** — no artifact from an uncommitted epoch is
+  observable (staged state never leaks past an abort);
+* **single-failure recoverability** — the constructive form of parity
+  coherence: actually reconstruct each member from the others + parity
+  and compare bit-for-bit.
+
+Checkers never raise on bad state; they return :class:`Violation`
+records so the fuzzer can aggregate and shrink.  States that are
+legitimately unauditable (a dead node, a failed VM awaiting rebuild)
+yield *degraded* findings, which only count as violations under
+``strict`` auditing — the mode used at quiescent points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..cluster.xorsum import reconstruct_missing_padded, xor_reduce_padded
+from ..core.placement import validate_layout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.cluster import VirtualCluster
+    from ..core.groups import GroupLayout
+
+__all__ = [
+    "Violation",
+    "AuditReport",
+    "audit_cluster",
+    "check_parity_coherence",
+    "check_layout_validity",
+    "check_epoch_coherence",
+    "check_two_phase_atomicity",
+    "check_single_failure_recoverable",
+]
+
+FATAL = "fatal"
+DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach (or degraded observation).
+
+    ``severity`` is ``"fatal"`` for genuine protocol bugs (wrong bytes,
+    mixed epochs) and ``"degraded"`` for states that are expected while
+    a failure is being absorbed (dead parity node, VM awaiting rebuild).
+    """
+
+    invariant: str
+    severity: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.invariant}: {self.subject} — {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one full invariant sweep."""
+
+    checked_at: float
+    committed_epoch: int
+    context: str = ""
+    strict: bool = False
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def fatal(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == FATAL]
+
+    @property
+    def degraded(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == DEGRADED]
+
+    @property
+    def ok(self) -> bool:
+        """No fatal findings (degraded states are tolerated unless the
+        sweep ran strict, in which case they were already promoted)."""
+        return not self.fatal
+
+
+def _severity(strict: bool) -> str:
+    return FATAL if strict else DEGRADED
+
+
+def check_parity_coherence(
+    cluster: "VirtualCluster",
+    layout: "GroupLayout",
+    strict: bool = False,
+) -> list[Violation]:
+    """Stored parity == padded XOR of members' committed payloads."""
+    out: list[Violation] = []
+    for g in layout.groups:
+        subject = f"group {g.group_id}"
+        pnode = cluster.node(g.parity_node)
+        if not pnode.alive:
+            out.append(Violation(
+                "parity-coherence", _severity(strict), subject,
+                f"parity node {g.parity_node} is down",
+            ))
+            continue
+        block = pnode.parity_store.get(g.group_id)
+        if block is None:
+            out.append(Violation(
+                "parity-coherence", _severity(strict), subject,
+                f"no parity block on node {g.parity_node}",
+            ))
+            continue
+        payloads = []
+        auditable = True
+        for v in g.member_vm_ids:
+            vm = cluster.vm(v)
+            if vm.node_id is None:
+                out.append(Violation(
+                    "parity-coherence", _severity(strict), subject,
+                    f"member vm {v} failed — group unauditable",
+                ))
+                auditable = False
+                break
+            img = cluster.hypervisor(vm.node_id).committed(v)
+            if img is None:
+                out.append(Violation(
+                    "parity-coherence", _severity(strict), subject,
+                    f"member vm {v} has no committed checkpoint",
+                ))
+                auditable = False
+                break
+            payloads.append(img.payload_flat() if img.payload is not None else None)
+        if not auditable:
+            continue
+        if block.data is None or any(p is None for p in payloads):
+            continue  # timing-only run: nothing functional to compare
+        expect = xor_reduce_padded(payloads)
+        got = block.data
+        if got.shape[0] < expect.shape[0]:
+            out.append(Violation(
+                "parity-coherence", FATAL, subject,
+                f"parity length {got.shape[0]} shorter than member XOR "
+                f"length {expect.shape[0]}",
+            ))
+            continue
+        if got.shape[0] > expect.shape[0] and got[expect.shape[0]:].any():
+            out.append(Violation(
+                "parity-coherence", FATAL, subject,
+                "nonzero parity bytes beyond the members' padded extent",
+            ))
+            continue
+        if not np.array_equal(got[: expect.shape[0]], expect):
+            nbad = int(np.count_nonzero(got[: expect.shape[0]] != expect))
+            out.append(Violation(
+                "parity-coherence", FATAL, subject,
+                f"parity differs from member XOR in {nbad} byte(s)",
+            ))
+    return out
+
+
+def check_layout_validity(
+    cluster: "VirtualCluster",
+    layout: "GroupLayout",
+    strict: bool = False,
+) -> list[Violation]:
+    """Orthogonality + parity independence (Fig. 2).
+
+    Degraded placements are legal transients: with a node down, the only
+    restore target may be the group's parity node
+    (:func:`repro.core.recovery.choose_restore_node` falls back on
+    purpose).  ``heal()`` repairs them once nodes return — so these are
+    fatal only under ``strict`` (quiescent cluster, everything repaired).
+    """
+    report = validate_layout(layout, cluster, tolerance=1)
+    return [
+        Violation("layout-validity", _severity(strict), "layout", err)
+        for err in report.errors
+    ]
+
+
+def check_epoch_coherence(
+    cluster: "VirtualCluster",
+    layout: "GroupLayout",
+    committed_epoch: int,
+    strict: bool = False,
+) -> list[Violation]:
+    """Every committed artifact agrees on ``committed_epoch``."""
+    out: list[Violation] = []
+    if committed_epoch < 0:
+        return out  # nothing committed yet: trivially coherent
+    for g in layout.groups:
+        pnode = cluster.node(g.parity_node)
+        if pnode.alive:
+            block = pnode.parity_store.get(g.group_id)
+            if block is not None and block.epoch != committed_epoch:
+                out.append(Violation(
+                    "epoch-coherence", FATAL, f"group {g.group_id}",
+                    f"parity epoch {block.epoch} != committed {committed_epoch}",
+                ))
+        for v in g.member_vm_ids:
+            vm = cluster.vm(v)
+            if vm.node_id is None:
+                out.append(Violation(
+                    "epoch-coherence", _severity(strict), f"vm {v}",
+                    "failed — epoch unauditable",
+                ))
+                continue
+            img = cluster.hypervisor(vm.node_id).committed(v)
+            if img is None:
+                out.append(Violation(
+                    "epoch-coherence", _severity(strict), f"vm {v}",
+                    "no committed checkpoint",
+                ))
+            elif img.epoch != committed_epoch:
+                out.append(Violation(
+                    "epoch-coherence", FATAL, f"vm {v}",
+                    f"committed image epoch {img.epoch} != {committed_epoch}",
+                ))
+    return out
+
+
+def check_two_phase_atomicity(
+    cluster: "VirtualCluster",
+    layout: "GroupLayout",
+    committed_epoch: int,
+    strict: bool = False,
+) -> list[Violation]:
+    """No artifact from an uncommitted (future) epoch is observable.
+
+    An aborted cycle must leave *zero* trace: staged parity and staged
+    member images for epoch ``e > committed_epoch`` leaking into node
+    stores would mean the two-phase commit is not atomic.
+    """
+    out: list[Violation] = []
+    for node in cluster.nodes:
+        if not node.alive:
+            continue
+        for gid, block in node.parity_store.items():
+            if block.epoch > committed_epoch:
+                out.append(Violation(
+                    "two-phase-atomicity", FATAL, f"group {gid}",
+                    f"parity from uncommitted epoch {block.epoch} on node "
+                    f"{node.node_id} (committed {committed_epoch})",
+                ))
+        for vm_id, img in node.checkpoint_store.items():
+            if img.epoch > committed_epoch:
+                out.append(Violation(
+                    "two-phase-atomicity", FATAL, f"vm {vm_id}",
+                    f"image from uncommitted epoch {img.epoch} on node "
+                    f"{node.node_id} (committed {committed_epoch})",
+                ))
+    for vm in cluster.all_vms:
+        if vm.epoch > committed_epoch:
+            out.append(Violation(
+                "two-phase-atomicity", FATAL, f"vm {vm.vm_id}",
+                f"vm epoch marker {vm.epoch} ahead of committed "
+                f"{committed_epoch}",
+            ))
+    return out
+
+
+def check_single_failure_recoverable(
+    cluster: "VirtualCluster",
+    layout: "GroupLayout",
+    strict: bool = False,
+) -> list[Violation]:
+    """Constructive recoverability: rebuild each member from the others
+    + parity (the actual recovery computation) and compare bit-exactly
+    against its committed payload."""
+    out: list[Violation] = []
+    for g in layout.groups:
+        pnode = cluster.node(g.parity_node)
+        block = pnode.parity_store.get(g.group_id) if pnode.alive else None
+        if block is None or block.data is None:
+            continue  # availability handled by parity-coherence
+        images = {}
+        for v in g.member_vm_ids:
+            vm = cluster.vm(v)
+            img = (
+                cluster.hypervisor(vm.node_id).committed(v)
+                if vm.node_id is not None
+                else None
+            )
+            if img is None or img.payload is None:
+                images = None
+                break
+            images[v] = img.payload_flat()
+        if images is None:
+            continue  # unauditable; parity-coherence already flagged it
+        for v in g.member_vm_ids:
+            survivors = [p for w, p in images.items() if w != v]
+            try:
+                rebuilt = reconstruct_missing_padded(
+                    survivors, block.data, images[v].shape[0]
+                )
+            except ValueError as exc:
+                out.append(Violation(
+                    "single-failure-recoverable", FATAL, f"vm {v}",
+                    f"reconstruction impossible: {exc}",
+                ))
+                continue
+            if not np.array_equal(rebuilt, images[v]):
+                nbad = int(np.count_nonzero(rebuilt != images[v]))
+                out.append(Violation(
+                    "single-failure-recoverable", FATAL, f"vm {v}",
+                    f"rebuilt image differs from committed in {nbad} byte(s)",
+                ))
+    return out
+
+
+def audit_cluster(
+    cluster: "VirtualCluster",
+    layout: "GroupLayout",
+    committed_epoch: int,
+    strict: bool = False,
+    context: str = "",
+) -> AuditReport:
+    """Run every invariant checker and aggregate the findings.
+
+    ``strict=True`` promotes degraded observations (dead nodes, failed
+    VMs, co-located placements) to fatal — use it only at quiescent
+    points where the cluster is expected to be fully healthy.
+    """
+    report = AuditReport(
+        checked_at=cluster.sim.now,
+        committed_epoch=committed_epoch,
+        context=context,
+        strict=strict,
+    )
+    if committed_epoch < 0:
+        return report  # nothing committed yet: nothing to audit
+    report.violations.extend(check_parity_coherence(cluster, layout, strict))
+    report.violations.extend(check_layout_validity(cluster, layout, strict))
+    report.violations.extend(
+        check_epoch_coherence(cluster, layout, committed_epoch, strict)
+    )
+    report.violations.extend(
+        check_two_phase_atomicity(cluster, layout, committed_epoch, strict)
+    )
+    report.violations.extend(
+        check_single_failure_recoverable(cluster, layout, strict)
+    )
+    return report

@@ -35,11 +35,15 @@ class CoordinatedCheckpoint:
         cluster: VirtualCluster,
         strategy: CaptureStrategy,
         tracer: Tracer = NULL_TRACER,
+        auditor=None,
     ):
         self.cluster = cluster
         self.strategy = strategy
         self.tracer = tracer
         self.probe = probe_of(tracer)
+        #: optional audit hook (``post_capture(epoch, outcomes, dropped)``);
+        #: see :class:`repro.audit.Auditor`
+        self.auditor = auditor
 
     def capture_all(
         self,
@@ -82,9 +86,34 @@ class CoordinatedCheckpoint:
         if pause_window > 0.0:
             yield sim.timeout(pause_window)
 
+        # A node that crashed inside the barrier window took its VMs (and
+        # their just-captured images, which live in that node's RAM) with
+        # it.  Returning those outcomes would let a stale image from a
+        # dead VM reach the exchange/commit path, so drop them here.
+        dropped = [
+            o for o in outcomes
+            if self.cluster.vm(o.image.vm_id).state == VMState.FAILED
+        ]
+        if dropped:
+            outcomes = [
+                o for o in outcomes
+                if self.cluster.vm(o.image.vm_id).state != VMState.FAILED
+            ]
+            self.tracer.emit(
+                sim.now, "coordinated.stale_captures_dropped", epoch=epoch,
+                vms=[o.image.vm_id for o in dropped],
+            )
+            self.probe.count(
+                "repro_checkpoint_stale_captures_total", len(dropped),
+                help="Captured images dropped because the VM failed "
+                     "inside the barrier window",
+            )
+
         for vm in live:
             if vm.state == VMState.PAUSED:  # a failure may have struck mid-pause
                 vm.resume()
+        if self.auditor is not None:
+            self.auditor.post_capture(epoch, outcomes, dropped)
         self.tracer.emit(
             sim.now, "coordinated.resume", epoch=epoch, pause=pause_window
         )

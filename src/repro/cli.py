@@ -479,6 +479,64 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .audit import FuzzConfig, canonical_schedule, fuzz, run_trial
+    from .audit.fuzzer import LAYOUTS
+
+    layouts = list(LAYOUTS) if args.layout == "all" else [args.layout]
+    failed = False
+    for layout in layouts:
+        config = FuzzConfig(
+            layout=layout,
+            n_nodes=args.nodes,
+            vms_per_node=args.vms_per_node,
+            n_cycles=args.cycles,
+            max_faults=args.max_faults,
+            heterogeneous=args.heterogeneous,
+        )
+        if args.fuzz:
+            result = fuzz(
+                config, seeds=args.seeds, budget=args.budget,
+                base_seed=args.seed,
+            )
+            clean = sum(
+                1 for t in result.trials
+                if not t.failed and not t.unrecoverable
+            )
+            unrec = sum(1 for t in result.trials if t.unrecoverable)
+            print(render_table(
+                ["trials", "clean", "unrecoverable", "failing", "violations",
+                 "wall"],
+                [[len(result.trials), clean, unrec, len(result.failures),
+                  result.n_violations, format_seconds(result.elapsed)]],
+                title=f"audit fuzz: {layout}"
+                      + (" (budget exhausted)" if result.budget_exhausted else ""),
+            ))
+            for t in result.failures:
+                failed = True
+                print(f"  seed {t.seed} — minimal reproducer:")
+                for f in t.schedule:
+                    print(f"    {f}")
+                for v in t.violations[:5]:
+                    print(f"    {v}")
+        else:
+            trial = run_trial(config, canonical_schedule(config), args.seed)
+            verdict = (
+                "FAIL" if trial.failed
+                else ("unrecoverable" if trial.unrecoverable else "ok")
+            )
+            print(render_table(
+                ["commits", "aborts", "recoveries", "violations", "verdict"],
+                [[trial.commits, trial.aborts, trial.recoveries,
+                  len(trial.violations), verdict]],
+                title=f"audit: {layout} (single mid-run node failure)",
+            ))
+            for v in trial.violations[:10]:
+                failed = True
+                print(f"  {v}")
+    return 1 if failed else 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .cluster import measure_xor_bandwidth
 
@@ -614,6 +672,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write to a file instead of stdout (prom only)")
     _add_scenario_flags(me)
     me.set_defaults(func=_cmd_metrics)
+
+    au = sub.add_parser(
+        "audit",
+        help="verify recoverability invariants (one-shot or fuzz)",
+    )
+    au.add_argument("--fuzz", action="store_true",
+                    help="drive seeded adversarial fault schedules instead "
+                         "of the single canonical failure")
+    au.add_argument("--layout", choices=["fig1", "fig3", "fig4", "all"],
+                    default="all", help="which architecture(s) to audit")
+    au.add_argument("--nodes", type=_positive_int, default=4)
+    au.add_argument("--vms-per-node", type=_positive_int, default=3)
+    au.add_argument("--seeds", type=_positive_int, default=25,
+                    help="fuzz: independent schedules per layout")
+    au.add_argument("--cycles", type=_positive_int, default=4,
+                    help="checkpoint cycles per trial")
+    au.add_argument("--max-faults", type=int, default=2,
+                    help="fuzz: max node kills per schedule")
+    au.add_argument("--budget", type=float, default=None,
+                    help="fuzz: wall-clock seconds per layout")
+    au.add_argument("--seed", type=int, default=0, help="base seed")
+    au.add_argument("--heterogeneous", action="store_true",
+                    help="mix VM memory sizes within groups")
+    au.set_defaults(func=_cmd_audit)
 
     ca = sub.add_parser("calibrate", help="measure host XOR bandwidth")
     ca.add_argument("--size", type=int, default=1 << 24, help="buffer bytes")

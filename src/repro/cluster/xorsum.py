@@ -29,9 +29,17 @@ __all__ = [
 
 
 def as_u8(buf: np.ndarray | bytes | bytearray) -> np.ndarray:
-    """View any buffer as a flat uint8 array (no copy where possible)."""
+    """View any buffer as a flat uint8 array (no copy where possible).
+
+    ``bytes``/``bytearray`` map zero-copy through ``np.frombuffer`` (the
+    bytearray view is writable, so in-place kernels mutate the original).
+    Contiguous arrays map to a flat view; *non-contiguous* arrays cannot
+    be viewed flat, so the result is a contiguous **copy** — in-place
+    callers must detect that (``np.shares_memory``) and write back, as
+    :func:`xor_into` does.
+    """
     if isinstance(buf, (bytes, bytearray)):
-        return np.frombuffer(bytes(buf), dtype=np.uint8)
+        return np.frombuffer(buf, dtype=np.uint8)
     arr = np.asarray(buf)
     return arr.reshape(-1).view(np.uint8)
 
@@ -105,11 +113,26 @@ def xor_into(dst: np.ndarray, src: np.ndarray | bytes) -> np.ndarray:
 
     This is the parity *update* primitive: applying a delta (old ^ new)
     to an existing parity buffer without materializing intermediates.
+
+    ``dst`` must be mutable.  Non-contiguous arrays are supported:
+    :func:`as_u8` has to *copy* such inputs (``reshape(-1)`` on a strided
+    view materializes a new buffer), so the XOR result is explicitly
+    written back into ``dst`` — without that write-back the update would
+    silently land in a temporary and be lost.
     """
+    if isinstance(dst, bytes):
+        raise TypeError("xor_into requires a mutable destination, got bytes")
     d = as_u8(dst)
     s = as_u8(src)
     _check_same_length([d, s])
+    if isinstance(dst, bytearray):
+        np.bitwise_xor(d, s, out=d)
+        dst[:] = d.tobytes()
+        return dst
     np.bitwise_xor(d, s, out=d)
+    if not np.shares_memory(d, dst):
+        # as_u8 copied (non-contiguous dst): write the result back
+        dst[...] = d.view(dst.dtype).reshape(dst.shape)
     return dst
 
 

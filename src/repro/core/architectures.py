@@ -30,11 +30,12 @@ def first_shot(
     compression: CompressionModel = NO_COMPRESSION,
     xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
     tracer: Tracer = NULL_TRACER,
+    auditor=None,
 ) -> DisklessCheckpointer:
     """Fig. 1 — the "first-shot" N+1 architecture."""
     layout = layout_firstshot(cluster, parity_node)
     return DisklessCheckpointer(
-        cluster, layout, strategy, compression, xor_bandwidth, tracer
+        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor
     )
 
 
@@ -46,11 +47,12 @@ def checkpoint_node(
     compression: CompressionModel = NO_COMPRESSION,
     xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
     tracer: Tracer = NULL_TRACER,
+    auditor=None,
 ) -> DisklessCheckpointer:
     """Fig. 3 — orthogonal RAID with a dedicated checkpointing node."""
     layout = layout_checkpoint_node(cluster, node_id, group_size)
     return DisklessCheckpointer(
-        cluster, layout, strategy, compression, xor_bandwidth, tracer
+        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor
     )
 
 
@@ -61,9 +63,10 @@ def dvdc(
     compression: CompressionModel = NO_COMPRESSION,
     xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
     tracer: Tracer = NULL_TRACER,
+    auditor=None,
 ) -> DisklessCheckpointer:
     """Fig. 4 — Distributed Virtual Diskless Checkpointing."""
     layout = layout_dvdc(cluster, group_size)
     return DisklessCheckpointer(
-        cluster, layout, strategy, compression, xor_bandwidth, tracer
+        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor
     )

@@ -53,7 +53,7 @@ from ..cluster.cluster import VirtualCluster
 from ..cluster.images import CheckpointImage, CheckpointKind, ParityBlock
 from ..cluster.memory import PageDelta
 from ..cluster.vm import VMState
-from ..cluster.xorsum import xor_reduce_padded
+from ..cluster.xorsum import reconstruct_missing_padded, xor_reduce_padded
 from ..network.link import NetworkError
 from ..sim import AllOf, NULL_TRACER, Resource, Tracer
 from .groups import GroupLayout, RaidGroup
@@ -91,6 +91,7 @@ class DisklessCheckpointer:
         compression: CompressionModel = NO_COMPRESSION,
         xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
         tracer: Tracer = NULL_TRACER,
+        auditor=None,
     ):
         if xor_bandwidth <= 0:
             raise ValueError(f"xor_bandwidth must be > 0, got {xor_bandwidth}")
@@ -100,7 +101,13 @@ class DisklessCheckpointer:
         self.compression = compression
         self.xor_bandwidth = xor_bandwidth
         self.tracer = tracer
-        self.coordinator = CoordinatedCheckpoint(cluster, self.strategy, tracer)
+        #: optional audit hook (``post_cycle``/``post_recovery``/
+        #: ``post_capture``); see :class:`repro.audit.Auditor`.  Duck-typed
+        #: so the core stays import-free of :mod:`repro.audit`.
+        self.auditor = auditor
+        self.coordinator = CoordinatedCheckpoint(
+            cluster, self.strategy, tracer, auditor
+        )
         self.epoch = 0
         self.committed_epoch = -1
         self.last_cycle_at: float | None = None
@@ -110,6 +117,11 @@ class DisklessCheckpointer:
         self._xor_engines = {
             n.node_id: Resource(cluster.sim, capacity=1) for n in cluster.nodes
         }
+
+    def attach_auditor(self, auditor) -> None:
+        """Install (or replace) the audit hook after construction."""
+        self.auditor = auditor
+        self.coordinator.auditor = auditor
 
     # ------------------------------------------------------------------
     # checkpoint cycle
@@ -307,6 +319,8 @@ class DisklessCheckpointer:
             result.committed = False
             self.history.append(result)
             self.tracer.emit(sim.now, "diskless.cycle_aborted", epoch=epoch)
+            if self.auditor is not None:
+                self.auditor.post_cycle(self, result)
             return result
         for group_id, block in staged.items():
             group = next(g for g in self.layout.groups if g.group_id == group_id)
@@ -328,6 +342,8 @@ class DisklessCheckpointer:
             latency=result.latency, network_bytes=result.network_bytes,
             parity_bytes=result.parity_bytes,
         )
+        if self.auditor is not None:
+            self.auditor.post_cycle(self, result)
         return result
 
     # ------------------------------------------------------------------
@@ -374,6 +390,7 @@ class DisklessCheckpointer:
         flows = []
         survivor_payloads = []
         total_bytes = 0.0
+        wire_bytes = 0.0
         for v in survivors:
             vm = self.cluster.vm(v)
             if vm.node_id is None:
@@ -387,10 +404,10 @@ class DisklessCheckpointer:
                 raise RuntimeError(f"survivor vm {v} has no committed checkpoint")
             nbytes = self.cluster.vm(v).memory_bytes
             total_bytes += nbytes
-            report.network_bytes += nbytes
             if img.payload is not None:
                 survivor_payloads.append(img.payload_flat())
             if vm.node_id != parity_node:
+                wire_bytes += nbytes
                 flows.append(
                     self.cluster.topology.transfer(
                         vm.node_id, parity_node, nbytes,
@@ -402,8 +419,10 @@ class DisklessCheckpointer:
                 yield AllOf(sim, flows)
             except NetworkError:
                 # another node died mid-rebuild; leave this VM failed —
-                # the queued failure's recovery pass retries the group
+                # the queued failure's recovery pass retries the group.
+                # Aborted transfers never count toward report.network_bytes.
                 return
+        report.network_bytes += wire_bytes
         # XOR: survivors + parity
         if not self.cluster.node(parity_node).alive:
             raise RuntimeError(
@@ -423,13 +442,12 @@ class DisklessCheckpointer:
 
         rebuilt: np.ndarray | None = None
         if block.data is not None and len(survivor_payloads) == len(survivors):
-            acc = block.data.copy()
-            for p in survivor_payloads:
-                np.bitwise_xor(acc[: p.shape[0]], p, out=acc[: p.shape[0]])
-            rebuilt = (
-                acc[: lost_vm.image.nbytes].copy()
+            rebuilt = reconstruct_missing_padded(
+                survivor_payloads,
+                block.data,
+                lost_vm.image.nbytes
                 if lost_vm.image is not None
-                else acc
+                else block.data.shape[0],
             )
 
         # ship the rebuilt image to its new home and restore
@@ -441,11 +459,11 @@ class DisklessCheckpointer:
                 parity_node, target, lost_vm.memory_bytes,
                 label=f"restore.g{group.group_id}.vm{lost_vm_id}",
             )
-            report.network_bytes += lost_vm.memory_bytes
             try:
                 yield flow
             except NetworkError:
                 return  # destination (or source) died; retried later
+            report.network_bytes += lost_vm.memory_bytes
         self.cluster.place_failed_vm(lost_vm_id, target)
         hv = self.cluster.hypervisor(target)
         image = CheckpointImage(
@@ -477,6 +495,7 @@ class DisklessCheckpointer:
         flows = []
         payloads = []
         total = 0.0
+        wire_bytes = 0.0
         for v in group.member_vm_ids:
             vm = self.cluster.vm(v)
             if vm.node_id is None:
@@ -487,10 +506,10 @@ class DisklessCheckpointer:
             if img is None:
                 raise RuntimeError(f"vm {v} has no committed checkpoint to re-encode")
             total += vm.memory_bytes
-            report.network_bytes += vm.memory_bytes
             if img.payload is not None:
                 payloads.append(img.payload_flat())
             if vm.node_id != new_node:
+                wire_bytes += vm.memory_bytes
                 flows.append(
                     self.cluster.topology.transfer(
                         vm.node_id, new_node, vm.memory_bytes,
@@ -501,7 +520,10 @@ class DisklessCheckpointer:
             try:
                 yield AllOf(sim, flows)
             except NetworkError:
-                return  # retried by the queued failure's recovery
+                # retried by the queued failure's recovery; dead transfers
+                # contribute nothing to the accounting
+                return
+        report.network_bytes += wire_bytes
         engine = self._xor_engines[new_node]
         req = engine.request()
         yield req
@@ -636,4 +658,6 @@ class DisklessCheckpointer:
             sim.now, "diskless.recovery", node=failed_node_id,
             duration=report.recovery_time, reconstructed=list(report.reconstructed),
         )
+        if self.auditor is not None:
+            self.auditor.post_recovery(self, report)
         return report

@@ -62,6 +62,44 @@ class TestXor:
         assert out is a
         assert np.array_equal(a, expected)
 
+    def test_xor_into_strided_dst_updated(self, rng):
+        """Regression: xor_into on a non-contiguous dst used to XOR a
+        temporary (as_u8 copies strided views) and drop the update."""
+        backing = rng.integers(0, 256, (8, 8), dtype=np.uint8)
+        src = rng.integers(0, 256, 32, dtype=np.uint8)
+        # a column block: flattening it cannot be expressed as a single
+        # stride, so as_u8 is forced to copy
+        dst = backing[:, :4]
+        assert not dst.flags["C_CONTIGUOUS"]
+        assert not np.shares_memory(np.asarray(dst).reshape(-1), dst)
+        untouched = backing[:, 4:].copy()
+        expected = np.bitwise_xor(dst.reshape(-1).copy(), src)
+        out = xor_into(dst, src)
+        assert out is dst
+        assert np.array_equal(dst.reshape(-1), expected)
+        # the columns outside the view are untouched
+        assert np.array_equal(backing[:, 4:], untouched)
+
+    def test_xor_into_strided_src(self, rng):
+        backing = rng.integers(0, 256, 64, dtype=np.uint8)
+        src = backing[::2]
+        dst = rng.integers(0, 256, 32, dtype=np.uint8)
+        expected = np.bitwise_xor(dst.copy(), src)
+        xor_into(dst, src)
+        assert np.array_equal(dst, expected)
+
+    def test_xor_into_bytearray_mutated(self, rng):
+        dst = bytearray(rng.integers(0, 256, 16, dtype=np.uint8).tobytes())
+        src = rng.integers(0, 256, 16, dtype=np.uint8)
+        expected = np.bitwise_xor(np.frombuffer(bytes(dst), np.uint8), src)
+        out = xor_into(dst, src)
+        assert out is dst
+        assert np.array_equal(np.frombuffer(bytes(dst), np.uint8), expected)
+
+    def test_xor_into_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            xor_into(b"\x00\x01", np.zeros(2, np.uint8))
+
     def test_xor_pairs_fresh(self, rng):
         a = rng.integers(0, 256, 16, dtype=np.uint8)
         b = rng.integers(0, 256, 16, dtype=np.uint8)
