@@ -57,12 +57,18 @@ __all__ = [
 #: protocol phases a fault can target, in within-cycle firing order
 PHASES = ("idle", "mid_pause", "mid_exchange", "post_commit", "mid_recovery")
 
+#: fault kinds: ``kill`` is the classic fail-stop crash; the rest are
+#: transient (see :mod:`repro.resilience.faults`) and only drawn when
+#: :attr:`FuzzConfig.transient` is set
+KINDS = ("kill", "flap", "degrade", "drop", "corrupt")
+
 #: paper figures the fuzzer knows how to build
 LAYOUTS = ("fig1", "fig3", "fig4")
 
 #: RuntimeError messages that mean "legitimately unrecoverable under
 #: single parity" rather than "bug" — raised by the recovery path when a
-#: double failure exceeds the code's tolerance
+#: double failure (including crash + silent corruption) exceeds the
+#: code's tolerance
 _UNRECOVERABLE_MARKERS = (
     "beyond single-parity",
     "exceeds XOR parity",
@@ -70,31 +76,46 @@ _UNRECOVERABLE_MARKERS = (
     "no alive node",
     "no eligible parity node",
     "has no committed checkpoint",
+    "silently corrupt",
 )
 
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One adversarially-timed node kill.
+    """One adversarially-timed fault.
 
-    ``frac`` positions the kill inside the targeted phase window
+    ``frac`` positions the fault inside the targeted phase window
     (0 = its start, 1 = its end); ``cycle`` indexes the checkpoint
-    cycle the fault belongs to.
+    cycle the fault belongs to.  ``kind`` defaults to the classic node
+    kill; transient kinds carry a ``duration`` (flap/degrade outage
+    length, seconds) and ``severity`` (degrade bandwidth factor).
     """
 
     cycle: int
     phase: str
     node: int
     frac: float
+    kind: str = "kill"
+    duration: float = 0.5
+    severity: float = 0.5
 
     def __post_init__(self):
         if self.phase not in PHASES:
             raise ValueError(f"unknown phase {self.phase!r}")
         if not (0.0 <= self.frac <= 1.0):
             raise ValueError(f"frac must be in [0, 1], got {self.frac}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if not (0 < self.severity <= 1):
+            raise ValueError(f"severity must be in (0, 1], got {self.severity}")
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"cycle {self.cycle}: kill node {self.node} at {self.phase}+{self.frac:.2f}"
+        return (
+            f"cycle {self.cycle}: {self.kind} node {self.node} "
+            f"at {self.phase}+{self.frac:.2f}"
+        )
 
 
 @dataclass(frozen=True)
@@ -112,6 +133,9 @@ class FuzzConfig:
     page_size: int = 128
     heterogeneous: bool = False
     strategy: str = "forked"
+    #: widen the fault vocabulary to transient kinds (flap/degrade/drop/
+    #: corrupt) and run the checkpointer with a retry policy + scrubber
+    transient: bool = False
 
     def __post_init__(self):
         if self.layout not in LAYOUTS:
@@ -131,6 +155,7 @@ class TrialResult:
     aborts: int = 0
     recoveries: int = 0
     faults_fired: list[FailureEvent] = field(default_factory=list)
+    transients_fired: list[FaultSpec] = field(default_factory=list)
     unrecoverable: str | None = None
     violations: list[Violation] = field(default_factory=list)
 
@@ -173,17 +198,42 @@ def draw_schedule(rng: np.random.Generator, config: FuzzConfig) -> tuple[FaultSp
     uniform, position is kept off the exact window edges.  Up to
     ``max_faults`` faults may share a cycle — that is how back-to-back
     failures (the double-fault torture case) arise.
+
+    With ``config.transient`` the kind is drawn too: kills keep a 40%
+    share so the classic crash pressure stays, the rest splits evenly
+    across the transient vocabulary.  ``corrupt`` is excluded for the
+    incremental strategy — folding an increment into rotten parity is
+    (correctly) refused by the protocol, which would stall every later
+    epoch of the trial rather than exercise anything new.
+
+    The kind/duration/severity draws happen *after* every base
+    (cycle, phase, node, frac) draw, so for any seed the transient
+    schedule aims at exactly the instants the classic one does — common
+    random numbers across the two vocabularies.
     """
     n = int(rng.integers(0, config.max_faults + 1))
-    faults = [
-        FaultSpec(
-            cycle=int(rng.integers(0, config.n_cycles)),
-            phase=PHASES[int(rng.integers(0, len(PHASES)))],
-            node=int(rng.integers(0, config.n_nodes)),
-            frac=float(rng.uniform(0.1, 0.9)),
-        )
-        for _ in range(n)
-    ]
+    bases = []
+    for _ in range(n):
+        cycle = int(rng.integers(0, config.n_cycles))
+        phase = PHASES[int(rng.integers(0, len(PHASES)))]
+        node = int(rng.integers(0, config.n_nodes))
+        frac = float(rng.uniform(0.1, 0.9))
+        bases.append((cycle, phase, node, frac))
+    faults = []
+    for cycle, phase, node, frac in bases:
+        kind, duration, severity = "kill", 0.5, 0.5
+        if config.transient:
+            vocab = ["kill", "flap", "degrade", "drop"]
+            if config.strategy != "incremental":
+                vocab.append("corrupt")
+            weights = [0.4] + [0.6 / (len(vocab) - 1)] * (len(vocab) - 1)
+            kind = str(rng.choice(vocab, p=weights))
+            duration = float(rng.uniform(0.05, 1.5))
+            severity = float(rng.uniform(0.1, 0.9))
+        faults.append(FaultSpec(
+            cycle=cycle, phase=phase, node=node, frac=frac,
+            kind=kind, duration=duration, severity=severity,
+        ))
     faults.sort(key=lambda f: (f.cycle, PHASES.index(f.phase), f.frac, f.node))
     return tuple(faults)
 
@@ -235,14 +285,30 @@ def _build(config: FuzzConfig, seed: int, tracer: Tracer):
             )
             vm.image.clear_dirty()
     strategy = _STRATEGIES[config.strategy]()
+    retry = retry_rng = None
+    if config.transient:
+        from ..resilience.retry import RetryPolicy
+
+        # a budget that comfortably outlasts the longest drawn outage
+        # (1.5 s): exhaustion stays possible but rare, and when it does
+        # happen the protocol must degrade cleanly — that is the test
+        retry = RetryPolicy(max_attempts=8, base_delay=0.05, max_delay=2.0)
+        retry_rng = np.random.default_rng([seed, 0xBE])
     if config.layout == "fig1":
-        ck = first_shot(cluster, strategy=strategy, tracer=tracer)
+        ck = first_shot(
+            cluster, strategy=strategy, tracer=tracer,
+            retry=retry, retry_rng=retry_rng,
+        )
     elif config.layout == "fig3":
         ck = checkpoint_node(
-            cluster, config.n_nodes - 1, strategy=strategy, tracer=tracer
+            cluster, config.n_nodes - 1, strategy=strategy, tracer=tracer,
+            retry=retry, retry_rng=retry_rng,
         )
     else:
-        ck = dvdc(cluster, strategy=strategy, tracer=tracer)
+        ck = dvdc(
+            cluster, strategy=strategy, tracer=tracer,
+            retry=retry, retry_rng=retry_rng,
+        )
     auditor = Auditor(cluster, ck.layout, tracer=tracer)
     ck.attach_auditor(auditor)
     return sim, cluster, ck, auditor
@@ -257,9 +323,15 @@ def run_trial(
     """Drive one schedule through ``n_cycles`` epochs and audit throughout."""
     sim, cluster, ck, auditor = _build(config, seed, tracer)
     dirt = np.random.default_rng([seed, 0xD1])
+    chaos = np.random.default_rng([seed, 0xCA])  # corruption targeting
     trial = TrialResult(seed=seed, config=config, schedule=schedule)
     expected: dict[int, np.ndarray] = {}
     pending: list[int] = []  # killed nodes awaiting recovery
+    scrub = None
+    if config.transient:
+        from ..resilience.scrubber import Scrubber
+
+        scrub = Scrubber(cluster, ck.layout, tracer=tracer)
 
     def kill(node_id: int) -> None:
         if not cluster.node(node_id).alive:
@@ -270,6 +342,25 @@ def run_trial(
                          ordinal=len(trial.faults_fired))
         )
         pending.append(node_id)
+
+    def fire(f: FaultSpec) -> None:
+        if f.kind == "kill":
+            kill(f.node)
+            return
+        trial.transients_fired.append(f)
+        topo = cluster.topology
+        if f.kind == "flap":
+            topo.set_node_links_up(f.node, False)
+            sim.schedule(max(f.duration, 1e-9), topo.set_node_links_up, f.node, True)
+        elif f.kind == "degrade":
+            topo.scale_node_bandwidth(f.node, f.severity)
+            sim.schedule(max(f.duration, 1e-9), topo.scale_node_bandwidth, f.node, 1.0)
+        elif f.kind == "drop":
+            topo.drop_node_flows(f.node)
+        elif f.kind == "corrupt":
+            from ..resilience.faults import corrupt_node_state
+
+            corrupt_node_state(cluster, f.node, chaos)
 
     def snapshot_committed() -> None:
         expected.clear()
@@ -283,26 +374,61 @@ def run_trial(
     class Unrecoverable(Exception):
         pass
 
+    def recover_classified(node: int):
+        try:
+            yield from ck.recover(node)
+        except RuntimeError as exc:
+            if any(m in str(exc) for m in _UNRECOVERABLE_MARKERS):
+                raise Unrecoverable(str(exc)) from exc
+            raise
+        trial.recoveries += 1
+
     def drain(cycle: int, rec_est: float):
-        """Recover + repair + heal until no failed node remains."""
-        while pending:
-            node = pending.pop(0)
-            for f in schedule:
-                if f.cycle == cycle and f.phase == "mid_recovery":
-                    sim.schedule(max(f.frac * rec_est, 1e-9), kill, f.node)
-            try:
-                yield from ck.recover(node)
-            except RuntimeError as exc:
-                if any(m in str(exc) for m in _UNRECOVERABLE_MARKERS):
-                    raise Unrecoverable(str(exc)) from exc
-                raise
-            trial.recoveries += 1
-            cluster.repair_node(node)
+        """Recover + repair + heal until no failed node or VM remains.
+
+        A transient outage can starve a rebuild (the retry budget runs
+        dry, recovery returns with the VM still down — a classified,
+        recoverable outcome).  The stall loop waits the outage out and
+        re-runs recovery, bounded so a genuine bug still surfaces as a
+        homeless-VM audit violation instead of a hang.
+        """
+        stalls = 0
+        while True:
+            if pending:
+                node = pending.pop(0)
+                for f in schedule:
+                    if f.cycle == cycle and f.phase == "mid_recovery":
+                        sim.schedule(max(f.frac * rec_est, 1e-9), fire, f)
+                if scrub is not None:
+                    scrub.scrub_once()
+                yield from recover_classified(node)
+                cluster.repair_node(node)
+                yield from ck.heal()
+                continue
+            recovered = all(vm.node_id is not None for vm in cluster.all_vms)
+            if recovered or not config.transient or stalls >= 3:
+                return
+            stalls += 1
+            yield sim.timeout(max(rec_est, 2.0))  # let the outage clear
+            if pending:
+                continue
+            if scrub is not None:
+                scrub.scrub_once()
+            yield from recover_classified(-1)
             yield from ck.heal()
 
     def quiescent_audit(where: str) -> None:
         if pending or any(not n.alive for n in cluster.nodes):
             return
+        if scrub is not None:
+            report = scrub.scrub_once()
+            if report.unrepairable:
+                # two corruptions in one group (or corruption of the last
+                # redundant copy): legitimately beyond single parity
+                raise Unrecoverable(
+                    "silent corruption beyond single-parity tolerance: "
+                    + ", ".join(report.unrepairable)
+                )
         auditor.run(ck.committed_epoch, context=f"quiescent:{where}", strict=True)
         for vm_id, want in expected.items():
             vm = cluster.vm(vm_id)
@@ -331,7 +457,7 @@ def run_trial(
             # -- dwell: the application runs and dirties memory ----------
             for f in schedule:
                 if f.cycle == cycle and f.phase == "idle":
-                    sim.schedule(f.frac * config.interval, kill, f.node)
+                    sim.schedule(f.frac * config.interval, fire, f)
             for vm in cluster.all_vms:
                 if vm.node_id is not None and vm.image is not None:
                     vm.image.touch_pages(
@@ -343,10 +469,10 @@ def run_trial(
             # -- checkpoint, with faults aimed inside its windows --------
             for f in schedule:
                 if f.cycle == cycle and f.phase == "mid_pause":
-                    sim.schedule(max(f.frac * pause_est, 1e-9), kill, f.node)
+                    sim.schedule(max(f.frac * pause_est, 1e-9), fire, f)
                 elif f.cycle == cycle and f.phase == "mid_exchange":
                     sim.schedule(
-                        pause_est + f.frac * (cycle_est - pause_est), kill, f.node
+                        pause_est + f.frac * (cycle_est - pause_est), fire, f
                     )
             result = yield from ck.run_cycle()
             if result.committed:
@@ -356,7 +482,7 @@ def run_trial(
                 trial.aborts += 1
             for f in schedule:
                 if f.cycle == cycle and f.phase == "post_commit":
-                    kill(f.node)
+                    fire(f)
             yield from drain(cycle, rec_est)
             quiescent_audit(f"cycle {cycle}")
 

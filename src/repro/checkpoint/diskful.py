@@ -59,12 +59,18 @@ class DiskfulCheckpointer:
         strategy: CaptureStrategy | None = None,
         compression: CompressionModel = NO_COMPRESSION,
         tracer: Tracer = NULL_TRACER,
+        retry=None,
+        retry_rng=None,
     ):
         self.cluster = cluster
         self.strategy = strategy or ForkedCapture()
         self.compression = compression
         self.tracer = tracer
         self.probe = probe_of(tracer)
+        #: optional :class:`repro.resilience.retry.RetryPolicy` applied to
+        #: NAS-bound and restore transfers
+        self.retry = retry
+        self.retry_rng = retry_rng
         self.coordinator = CoordinatedCheckpoint(cluster, self.strategy, tracer)
         self.epoch = 0
         self.last_cycle_at: float | None = None
@@ -74,6 +80,18 @@ class DiskfulCheckpointer:
     # ------------------------------------------------------------------
     def _key(self, vm_id: int, epoch: int) -> str:
         return f"vm{vm_id}/epoch{epoch}"
+
+    def _nas_flow(self, make_flow, label: str):
+        """A NAS-bound flow, retry-wrapped when a policy is installed."""
+        if self.retry is None:
+            return make_flow()
+        # Deferred import: resilience sits above checkpoint in the layering.
+        from ..resilience.retry import retrying_transfer
+
+        return self.cluster.sim.process(retrying_transfer(
+            self.cluster.sim, make_flow, self.retry,
+            rng=self.retry_rng, probe=self.probe, label=label,
+        ))
 
     def _ship_one(self, image: CheckpointImage, wire_bytes: float):
         """Process: stream one image node→NAS, then write it to disk.
@@ -87,13 +105,17 @@ class DiskfulCheckpointer:
         vm = self.cluster.vm(image.vm_id)
         node_id = vm.node_id
         assert node_id is not None
-        flow = self.cluster.topology.transfer_to_nas(
-            node_id, wire_bytes, label=f"ckpt.vm{image.vm_id}.e{image.epoch}"
+        label = f"ckpt.vm{image.vm_id}.e{image.epoch}"
+        flow = self._nas_flow(
+            lambda: self.cluster.topology.transfer_to_nas(
+                node_id, wire_bytes, label=label
+            ),
+            label,
         )
         try:
             yield flow
         except NetworkError:
-            return None  # sender died; the epoch will be aborted
+            return None  # sender died or retries exhausted; epoch aborts
         stored_size = None
         if image.kind == CheckpointKind.INCREMENTAL:
             stored_size = vm.memory_bytes
@@ -158,8 +180,9 @@ class DiskfulCheckpointer:
             result.network_bytes += wire
             result.disk_bytes += wire
             shippers.append(self.cluster.sim.process(self._ship_one(o.image, wire)))
+        shipped: dict[int, object] = {}
         if shippers:
-            yield AllOf(sim, shippers)
+            shipped = yield AllOf(sim, shippers)
         self.probe.span_end(ship_span, sim.now, n_images=len(shippers))
         self.probe.count(
             "repro_checkpoint_bytes_total", result.network_bytes,
@@ -167,8 +190,12 @@ class DiskfulCheckpointer:
             arch="diskful", path="network",
         )
 
-        # two-phase commit: new generation complete -> drop the old one
-        if self.cluster.failure_epoch != failure_snapshot:
+        # two-phase commit: new generation complete -> drop the old one;
+        # a ship that returned None died (node crash or retries exhausted)
+        # — the generation is incomplete, so the old one stays current
+        if self.cluster.failure_epoch != failure_snapshot or any(
+            v is None for v in shipped.values()
+        ):
             result.latency = sim.now - start
             result.committed = False
             self.history.append(result)
@@ -218,8 +245,13 @@ class DiskfulCheckpointer:
         obj = yield from self.cluster.nas.fetch(key)
         if vm.node_id is None:
             return
-        flow = self.cluster.topology.transfer_from_nas(
-            vm.node_id, obj.size, label=f"restore.vm{vm.vm_id}"
+        node_id = vm.node_id
+        label = f"restore.vm{vm.vm_id}"
+        flow = self._nas_flow(
+            lambda: self.cluster.topology.transfer_from_nas(
+                node_id, obj.size, label=label
+            ),
+            label,
         )
         try:
             yield flow

@@ -479,10 +479,75 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit_heal(args: argparse.Namespace) -> int:
+    """Spare-pool self-healing scenario: permanent node loss on a Fig. 4
+    cluster, recovery, then ``SelfHealer.reprotect``.  With a spare the
+    cluster must end PROTECTED (and report the window of vulnerability);
+    with an empty pool it must settle in DEGRADED and say so."""
+    import numpy as np
+
+    from .audit import Auditor
+    from .cluster import ClusterSpec, VirtualCluster
+    from .core import dvdc
+    from .resilience import ClusterHealth, SelfHealer, SparePool
+    from .sim import Simulator
+
+    sim = Simulator()
+    total = args.nodes + args.spares
+    cluster = VirtualCluster(sim, ClusterSpec(n_nodes=total))
+    rng = np.random.default_rng(args.seed)
+    for node in range(args.nodes):
+        for _ in range(args.vms_per_node):
+            vm = cluster.create_vm(node, 64e6, image_pages=32, page_size=128)
+            vm.image.write(
+                0, rng.integers(0, 256, vm.image.nbytes // 2, dtype=np.uint8)
+            )
+            vm.image.clear_dirty()
+    spares = SparePool.provision(cluster, args.spares)
+    ck = dvdc(cluster, group_size=args.nodes - 1)
+    healer = SelfHealer(ck, spares=spares)
+    out = {}
+
+    def driver():
+        r = yield from ck.run_cycle()
+        assert r.committed
+        yield sim.timeout(60.0)
+        cluster.kill_node(0)  # permanent: the node never comes back
+        healer.on_failure()
+        yield from ck.recover(0)
+        out["report"] = yield from healer.reprotect()
+
+    sim.run_processes(driver())
+    report = out["report"]
+    print(render_table(
+        ["spares", "final state", "rounds", "spares used", "relocated",
+         "healed groups", "degraded window"],
+        [[args.spares, report.state.value, report.rounds,
+          ",".join(map(str, report.spares_used)) or "-",
+          len(report.relocated), len(report.healed_groups),
+          format_seconds(report.window_seconds)
+          if report.window_seconds is not None else "still open"]],
+        title="self-healing after permanent node loss (fig4)",
+    ))
+    for issue in report.issues:
+        print(f"  outstanding: {issue}")
+    if report.state == ClusterHealth.PROTECTED:
+        auditor = Auditor(cluster, ck.layout)
+        auditor.run(ck.committed_epoch, context="post-heal", strict=True)
+        for v in auditor.violations:
+            print(f"  {v}")
+        if auditor.violations:
+            return 1
+    want = ClusterHealth.PROTECTED if args.spares else ClusterHealth.DEGRADED
+    return 0 if report.state == want else 1
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     from .audit import FuzzConfig, canonical_schedule, fuzz, run_trial
     from .audit.fuzzer import LAYOUTS
 
+    if args.heal:
+        return _audit_heal(args)
     layouts = list(LAYOUTS) if args.layout == "all" else [args.layout]
     failed = False
     for layout in layouts:
@@ -493,6 +558,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             n_cycles=args.cycles,
             max_faults=args.max_faults,
             heterogeneous=args.heterogeneous,
+            strategy=args.strategy,
+            transient=args.transient,
         )
         if args.fuzz:
             result = fuzz(
@@ -504,12 +571,15 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 if not t.failed and not t.unrecoverable
             )
             unrec = sum(1 for t in result.trials if t.unrecoverable)
+            transients = sum(len(t.transients_fired) for t in result.trials)
             print(render_table(
                 ["trials", "clean", "unrecoverable", "failing", "violations",
-                 "wall"],
+                 "transients", "wall"],
                 [[len(result.trials), clean, unrec, len(result.failures),
-                  result.n_violations, format_seconds(result.elapsed)]],
+                  result.n_violations, transients,
+                  format_seconds(result.elapsed)]],
                 title=f"audit fuzz: {layout}"
+                      + (" +transient" if args.transient else "")
                       + (" (budget exhausted)" if result.budget_exhausted else ""),
             ))
             for t in result.failures:
@@ -680,6 +750,15 @@ def build_parser() -> argparse.ArgumentParser:
     au.add_argument("--fuzz", action="store_true",
                     help="drive seeded adversarial fault schedules instead "
                          "of the single canonical failure")
+    au.add_argument("--transient", action="store_true",
+                    help="fuzz: widen the fault vocabulary to transient "
+                         "kinds (link flap, slowed NIC, dropped transfers, "
+                         "silent corruption) with retries + scrubbing on")
+    au.add_argument("--heal", action="store_true",
+                    help="run the spare-pool self-healing scenario instead "
+                         "(permanent node loss, recover, reprotect)")
+    au.add_argument("--spares", type=int, default=1,
+                    help="heal: cold spare nodes to provision")
     au.add_argument("--layout", choices=["fig1", "fig3", "fig4", "all"],
                     default="all", help="which architecture(s) to audit")
     au.add_argument("--nodes", type=_positive_int, default=4)
@@ -695,6 +774,8 @@ def build_parser() -> argparse.ArgumentParser:
     au.add_argument("--seed", type=int, default=0, help="base seed")
     au.add_argument("--heterogeneous", action="store_true",
                     help="mix VM memory sizes within groups")
+    au.add_argument("--strategy", choices=["forked", "full", "incremental"],
+                    default="forked", help="capture strategy for trials")
     au.set_defaults(func=_cmd_audit)
 
     ca = sub.add_parser("calibrate", help="measure host XOR bandwidth")

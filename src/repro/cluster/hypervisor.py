@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .checksum import block_checksum
 from .images import CheckpointImage, CheckpointKind
 from .memory import PageDelta
 from .node import PhysicalNode
@@ -155,6 +156,10 @@ class Hypervisor:
                 base_epoch=image.base_epoch,
                 meta=dict(image.meta, merged_from_incremental=True),
             )
+        if isinstance(image.payload, np.ndarray):
+            # Commit is the moment the bytes are known good: fingerprint
+            # them so restores and scrubs can detect later bit-rot.
+            image.meta["checksum"] = block_checksum(image.payload)
         self.node.store_checkpoint(image)
 
     def committed(self, vm_id: int) -> CheckpointImage | None:

@@ -96,6 +96,11 @@ class ParityBlock:
     logical_bytes: float
     stored_on_node: int | None = None
     data: np.ndarray | None = None
+    #: CRC of ``data`` taken at encode time; None for timing-only blocks.
+    checksum: int | None = None
+    #: CRC of each member image folded in, vm_id -> checksum.  Lets a
+    #: rebuild verify the reconstructed bytes end-to-end.
+    member_checksums: dict[int, int] = field(default_factory=dict)
 
     @property
     def functional(self) -> bool:
@@ -109,4 +114,6 @@ class ParityBlock:
             logical_bytes=self.logical_bytes,
             stored_on_node=self.stored_on_node,
             data=None if self.data is None else self.data.copy(),
+            checksum=self.checksum,
+            member_checksums=dict(self.member_checksums),
         )

@@ -146,6 +146,21 @@ class PhysicalNode:
         """Bring the node back, empty."""
         self.alive = True
 
+    def deactivate(self) -> None:
+        """Power the node down *cleanly* as a cold spare.
+
+        Unlike :meth:`fail` this is only legal on an empty node — spares
+        are provisioned before any VMs land on them — and does not bump
+        ``failure_count``.  A spare is brought online with :meth:`repair`
+        (the cluster's ``repair_node`` path), after which placement sees
+        an empty, maximally-free node.
+        """
+        if self.vms or self.checkpoint_store or self.parity_store:
+            raise NodeError(
+                f"node {self.node_id} holds state; only empty nodes can be spares"
+            )
+        self.alive = False
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self.alive else "DOWN"
         return (

@@ -31,11 +31,14 @@ def first_shot(
     xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
     tracer: Tracer = NULL_TRACER,
     auditor=None,
+    retry=None,
+    retry_rng=None,
 ) -> DisklessCheckpointer:
     """Fig. 1 — the "first-shot" N+1 architecture."""
     layout = layout_firstshot(cluster, parity_node)
     return DisklessCheckpointer(
-        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor
+        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor,
+        retry=retry, retry_rng=retry_rng,
     )
 
 
@@ -48,11 +51,14 @@ def checkpoint_node(
     xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
     tracer: Tracer = NULL_TRACER,
     auditor=None,
+    retry=None,
+    retry_rng=None,
 ) -> DisklessCheckpointer:
     """Fig. 3 — orthogonal RAID with a dedicated checkpointing node."""
     layout = layout_checkpoint_node(cluster, node_id, group_size)
     return DisklessCheckpointer(
-        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor
+        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor,
+        retry=retry, retry_rng=retry_rng,
     )
 
 
@@ -64,9 +70,12 @@ def dvdc(
     xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
     tracer: Tracer = NULL_TRACER,
     auditor=None,
+    retry=None,
+    retry_rng=None,
 ) -> DisklessCheckpointer:
     """Fig. 4 — Distributed Virtual Diskless Checkpointing."""
     layout = layout_dvdc(cluster, group_size)
     return DisklessCheckpointer(
-        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor
+        cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor,
+        retry=retry, retry_rng=retry_rng,
     )

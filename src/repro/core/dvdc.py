@@ -49,6 +49,7 @@ from ..checkpoint.base import CaptureOutcome, CaptureStrategy, CheckpointCycleRe
 from ..checkpoint.compression import NO_COMPRESSION, CompressionModel
 from ..checkpoint.coordinator import CoordinatedCheckpoint
 from ..checkpoint.strategies import ForkedCapture
+from ..cluster.checksum import block_checksum
 from ..cluster.cluster import VirtualCluster
 from ..cluster.images import CheckpointImage, CheckpointKind, ParityBlock
 from ..cluster.memory import PageDelta
@@ -56,6 +57,7 @@ from ..cluster.vm import VMState
 from ..cluster.xorsum import reconstruct_missing_padded, xor_reduce_padded
 from ..network.link import NetworkError
 from ..sim import AllOf, NULL_TRACER, Resource, Tracer
+from ..telemetry import probe_of
 from .groups import GroupLayout, RaidGroup
 from .recovery import DisklessRecoveryReport, choose_parity_node, choose_restore_node
 
@@ -70,6 +72,10 @@ class DisklessCycleResult(CheckpointCycleResult):
     """Cycle accounting plus the per-node parity workload split."""
 
     xor_seconds_by_node: dict[int, float] = field(default_factory=dict)
+    #: groups whose exchange died (node crash, or retries exhausted on a
+    #: transient outage); non-empty forces the epoch to abort even when
+    #: no node failure bumped the failure epoch
+    failed_groups: list[int] = field(default_factory=list)
 
     @property
     def max_node_xor_seconds(self) -> float:
@@ -92,6 +98,8 @@ class DisklessCheckpointer:
         xor_bandwidth: float = DEFAULT_XOR_BANDWIDTH,
         tracer: Tracer = NULL_TRACER,
         auditor=None,
+        retry=None,
+        retry_rng=None,
     ):
         if xor_bandwidth <= 0:
             raise ValueError(f"xor_bandwidth must be > 0, got {xor_bandwidth}")
@@ -101,6 +109,11 @@ class DisklessCheckpointer:
         self.compression = compression
         self.xor_bandwidth = xor_bandwidth
         self.tracer = tracer
+        self._probe = probe_of(tracer)
+        #: optional :class:`repro.resilience.retry.RetryPolicy`; when set,
+        #: every protocol transfer retries transient failures with backoff
+        self.retry = retry
+        self.retry_rng = retry_rng
         #: optional audit hook (``post_cycle``/``post_recovery``/
         #: ``post_capture``); see :class:`repro.audit.Auditor`.  Duck-typed
         #: so the core stays import-free of :mod:`repro.audit`.
@@ -122,6 +135,29 @@ class DisklessCheckpointer:
         """Install (or replace) the audit hook after construction."""
         self.auditor = auditor
         self.coordinator.auditor = auditor
+
+    # ------------------------------------------------------------------
+    # transfers (retry seam)
+    # ------------------------------------------------------------------
+    def _transfer(self, src: int, dst: int, size: float, label: str):
+        """One protocol transfer: a plain :class:`~repro.network.link.Flow`,
+        or — when a retry policy is installed — a process that re-issues
+        the flow on transient failures with exponential backoff.  Either
+        way the result is yieldable and fails with a
+        :class:`~repro.network.link.NetworkError` subclass."""
+        if self.retry is None:
+            return self.cluster.topology.transfer(src, dst, size, label=label)
+        # Deferred import: resilience sits above core in the layering.
+        from ..resilience.retry import retrying_transfer
+
+        return self.cluster.sim.process(retrying_transfer(
+            self.cluster.sim,
+            lambda: self.cluster.topology.transfer(src, dst, size, label=label),
+            self.retry,
+            rng=self.retry_rng,
+            probe=self._probe,
+            label=label,
+        ))
 
     # ------------------------------------------------------------------
     # checkpoint cycle
@@ -155,6 +191,12 @@ class DisklessCheckpointer:
     ):
         """Process: exchange + parity for one group."""
         sim = self.cluster.sim
+        if not self.cluster.node(group.parity_node).alive:
+            # the parity node died before the exchange even started (its
+            # RAM — including any previous parity block — is gone); the
+            # group contributes nothing and the epoch aborts
+            result.failed_groups.append(group.group_id)
+            return
         flows = []
         member_images: list[CheckpointImage] = []
         xor_deltas: dict[int, PageDelta] = {}
@@ -181,7 +223,7 @@ class DisklessCheckpointer:
             raw_bytes += o.image.logical_bytes
             result.network_bytes += wire
             flows.append(
-                self.cluster.topology.transfer(
+                self._transfer(
                     vm.node_id,
                     group.parity_node,
                     wire,
@@ -194,8 +236,10 @@ class DisklessCheckpointer:
             try:
                 yield AllOf(sim, flows)
             except NetworkError:
-                # a node died mid-exchange; this epoch will be aborted by
-                # the failure-epoch guard — contribute nothing
+                # a node died mid-exchange, or a transient outage outlived
+                # the retry budget; either way this group contributes
+                # nothing and the epoch aborts (failed_groups guard)
+                result.failed_groups.append(group.group_id)
                 return
 
         # XOR at the parity node (serialized per node across groups)
@@ -219,13 +263,24 @@ class DisklessCheckpointer:
         functional = all(img.payload is not None for img in member_images)
         if functional:
             if any(img.kind == CheckpointKind.INCREMENTAL for img in member_images):
-                prev = self.cluster.node(group.parity_node).parity_store.get(
-                    group.group_id
-                )
+                pnode = self.cluster.node(group.parity_node)
+                if not pnode.alive:
+                    # died between the aliveness check above and the fold
+                    result.failed_groups.append(group.group_id)
+                    return
+                prev = pnode.parity_store.get(group.group_id)
                 if prev is None or prev.data is None:
                     raise RuntimeError(
                         f"group {group.group_id}: incremental parity update "
                         "without a previous parity block"
+                    )
+                if prev.checksum is not None and block_checksum(prev.data) != prev.checksum:
+                    # folding a delta into rotten parity would produce a
+                    # self-consistently-checksummed wrong block — refuse
+                    raise RuntimeError(
+                        f"group {group.group_id}: previous parity block fails "
+                        "its checksum — silent corruption; scrub or run a "
+                        "full epoch before folding increments"
                     )
                 data = prev.data.copy()
                 for img in member_images:
@@ -259,6 +314,12 @@ class DisklessCheckpointer:
             member_vm_ids=group.member_vm_ids,
             logical_bytes=full_logical if logical < full_logical else logical,
             data=data,
+            checksum=None if data is None else block_checksum(data),
+            member_checksums={
+                img.vm_id: block_checksum(img.payload_flat())
+                for img in member_images
+                if isinstance(img.payload, np.ndarray)
+            },
         )
         for img in member_images:
             staged_commits[img.vm_id] = img
@@ -313,12 +374,26 @@ class DisklessCheckpointer:
             yield AllOf(sim, group_procs)
 
         # ---- commit point: atomic swap of the whole epoch ----
-        if self.cluster.failure_epoch != failure_snapshot:
-            # a node died mid-cycle: abort; previous epoch stays valid
+        if self.cluster.failure_epoch != failure_snapshot or result.failed_groups:
+            # a node died mid-cycle, or a group's exchange was lost to a
+            # transient outage: abort; previous epoch stays valid
             result.latency = sim.now - start
             result.committed = False
             self.history.append(result)
-            self.tracer.emit(sim.now, "diskless.cycle_aborted", epoch=epoch)
+            # aborted incremental captures already consumed the dirty log;
+            # re-mark their pages so the next epoch's delta covers them
+            for o in outcomes_list:
+                img = o.image
+                if img.kind == CheckpointKind.INCREMENTAL and isinstance(
+                    img.payload, PageDelta
+                ):
+                    vm = self.cluster.vm(img.vm_id)
+                    if vm.node_id is not None and vm.image is not None:
+                        vm.image.touch_pages(img.payload.indices)
+            self.tracer.emit(
+                sim.now, "diskless.cycle_aborted", epoch=epoch,
+                failed_groups=list(result.failed_groups),
+            )
             if self.auditor is not None:
                 self.auditor.post_cycle(self, result)
             return result
@@ -409,7 +484,7 @@ class DisklessCheckpointer:
             if vm.node_id != parity_node:
                 wire_bytes += nbytes
                 flows.append(
-                    self.cluster.topology.transfer(
+                    self._transfer(
                         vm.node_id, parity_node, nbytes,
                         label=f"rebuild.g{group.group_id}.vm{v}",
                     )
@@ -449,13 +524,20 @@ class DisklessCheckpointer:
                 if lost_vm.image is not None
                 else block.data.shape[0],
             )
+            expect = block.member_checksums.get(lost_vm_id)
+            if expect is not None and block_checksum(rebuilt) != expect:
+                raise RuntimeError(
+                    f"vm {lost_vm_id}: rebuilt image fails its end-to-end "
+                    "checksum — a survivor image or the parity block is "
+                    "silently corrupt; scrub before recovering"
+                )
 
         # ship the rebuilt image to its new home and restore
         target = choose_restore_node(
             self.cluster, self.layout, group, exclude={report.failed_node}
         )
         if target != parity_node:
-            flow = self.cluster.topology.transfer(
+            flow = self._transfer(
                 parity_node, target, lost_vm.memory_bytes,
                 label=f"restore.g{group.group_id}.vm{lost_vm_id}",
             )
@@ -511,7 +593,7 @@ class DisklessCheckpointer:
             if vm.node_id != new_node:
                 wire_bytes += vm.memory_bytes
                 flows.append(
-                    self.cluster.topology.transfer(
+                    self._transfer(
                         vm.node_id, new_node, vm.memory_bytes,
                         label=f"reencode.g{group.group_id}.vm{v}",
                     )
@@ -537,6 +619,10 @@ class DisklessCheckpointer:
             if payloads and len(payloads) == len(group.member_vm_ids)
             else None
         )
+        member_checksums: dict[int, int] = {}
+        if data is not None:
+            for v, p in zip(group.member_vm_ids, payloads):
+                member_checksums[v] = block_checksum(p)
         block = ParityBlock(
             group_id=group.group_id,
             epoch=self.committed_epoch,
@@ -545,6 +631,8 @@ class DisklessCheckpointer:
                 self.cluster.vm(v).memory_bytes for v in group.member_vm_ids
             ),
             data=data,
+            checksum=None if data is None else block_checksum(data),
+            member_checksums=member_checksums,
         )
         self.cluster.node(new_node).store_parity(block)
         # drop the superseded block from the previous home, if any

@@ -226,7 +226,8 @@ def build_orthogonal_layout(
             eligible = [
                 n.node_id
                 for n in cluster.nodes
-                if n.node_id not in member_nodes
+                if n.alive  # never rotate parity onto a dead or cold-spare node
+                and n.node_id not in member_nodes
                 and (
                     member_domains is None
                     or domains.domain_of(n.node_id) not in member_domains

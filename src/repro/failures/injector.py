@@ -64,6 +64,8 @@ class FailureSchedule:
             raise ValueError(f"need >= 1 node, got {n_nodes}")
         if horizon <= 0:
             raise ValueError(f"horizon must be > 0, got {horizon}")
+        if repair_time < 0:
+            raise ValueError(f"repair_time must be >= 0, got {repair_time}")
         events: list[FailureEvent] = []
         for node in range(n_nodes):
             t = 0.0

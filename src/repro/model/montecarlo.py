@@ -29,6 +29,8 @@ __all__ = [
     "chunk_moments",
     "estimate_from_moments",
     "estimate_expected_time_chunked",
+    "window_loss_probability",
+    "estimate_window_loss",
 ]
 
 
@@ -250,6 +252,57 @@ def estimate_from_moments(moments: Iterable[dict]) -> MonteCarloEstimate:
     else:
         std_error = float("inf")
     return MonteCarloEstimate(mean=mean, std_error=std_error, n_runs=n)
+
+
+# ---------------------------------------------------------------------------
+# Window of vulnerability — what self-healing buys.
+#
+# After a node failure, single-parity XOR protection is suspended until
+# the cluster is re-protected (recovery + re-encode, or a spare pulled
+# from the pool).  During that window a second failure on any *other*
+# node is unrecoverable.  The self-healer measures the realized window
+# (the ``repro_degraded_window_seconds`` histogram); these helpers turn
+# a window length into a loss probability, so shrinking the window via
+# spares translates directly into availability.
+
+
+def window_loss_probability(lam: float, n_nodes: int, window: float) -> float:
+    """P(a second, unrecoverable failure strikes during the window).
+
+    With per-node failure rate ``lam``, the ``n_nodes - 1`` surviving
+    nodes fail as a pooled Poisson process of rate ``lam * (n-1)``:
+
+    .. math:: P_{loss} = 1 - e^{-\\lambda (n-1) W}
+    """
+    if lam <= 0:
+        raise ValueError(f"lam must be > 0, got {lam}")
+    if n_nodes < 2:
+        raise ValueError(f"n_nodes must be >= 2, got {n_nodes}")
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    return -math.expm1(-lam * (n_nodes - 1) * window)
+
+
+def estimate_window_loss(
+    rng: np.random.Generator,
+    lam: float,
+    n_nodes: int,
+    window: float,
+    n_runs: int = 2000,
+) -> MonteCarloEstimate:
+    """Monte-Carlo corroboration of :func:`window_loss_probability`.
+
+    Each run draws the ``n_nodes - 1`` survivors' next failure times and
+    scores a loss when the earliest lands inside the window — no use of
+    the closed form, so agreement is evidence, not tautology.
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    window_loss_probability(lam, n_nodes, window)  # validate the triple
+    draws = rng.exponential(1.0 / lam, size=(n_runs, n_nodes - 1)).min(axis=1)
+    p = float((draws < window).mean())
+    std_error = math.sqrt(max(p * (1.0 - p), 1e-12) / n_runs)
+    return MonteCarloEstimate(mean=p, std_error=std_error, n_runs=n_runs)
 
 
 def estimate_expected_time_chunked(

@@ -21,11 +21,22 @@ from ..sim import NULL_TRACER, Simulator, SimEvent, Tracer
 from ..sim.engine import EventHandle
 from ..telemetry import probe_of
 
-__all__ = ["Link", "Flow", "Network", "NetworkError"]
+__all__ = ["Link", "Flow", "Network", "NetworkError", "TransientNetworkError"]
 
 
 class NetworkError(RuntimeError):
     """Structural misuse of the network layer."""
+
+
+class TransientNetworkError(NetworkError):
+    """A transfer failed for a *transient* reason — link flap, dropped
+    stream, per-attempt timeout — and retrying it may succeed.
+
+    Distinct from a plain :class:`NetworkError` (structural misuse, or a
+    flow torn down because its endpoint node crashed), which retrying
+    cannot fix.  The :mod:`repro.resilience.retry` layer retries only
+    this subclass.
+    """
 
 
 class Link:
@@ -42,7 +53,7 @@ class Link:
         once per flow traversing the link.
     """
 
-    __slots__ = ("name", "bandwidth", "latency", "flows")
+    __slots__ = ("name", "bandwidth", "nominal_bandwidth", "latency", "flows", "up")
 
     def __init__(self, name: str, bandwidth: float, latency: float = 0.0):
         if not bandwidth > 0:
@@ -51,16 +62,28 @@ class Link:
             raise NetworkError(f"latency must be >= 0, got {latency}")
         self.name = name
         self.bandwidth = float(bandwidth)
+        #: design capacity; ``bandwidth`` may sit below it while degraded
+        self.nominal_bandwidth = float(bandwidth)
         self.latency = float(latency)
         self.flows: set["Flow"] = set()
+        #: False while the link is flapped down; flows cannot cross it
+        self.up = True
 
     @property
     def utilization(self) -> float:
         """Fraction of capacity currently allocated (0..1)."""
         return sum(f.rate for f in self.flows) / self.bandwidth
 
+    @property
+    def degraded(self) -> bool:
+        return self.bandwidth < self.nominal_bandwidth
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Link {self.name} {self.bandwidth:.3g} B/s {len(self.flows)} flows>"
+        state = "" if self.up else " DOWN"
+        return (
+            f"<Link {self.name}{state} {self.bandwidth:.3g} B/s "
+            f"{len(self.flows)} flows>"
+        )
 
 
 class Flow(SimEvent):
@@ -105,11 +128,17 @@ class Flow(SimEvent):
     def transferred(self) -> float:
         return self.size - self.remaining
 
-    def abort(self, reason: str = "aborted") -> None:
-        """Cancel the transfer; the waiting process sees a NetworkError."""
+    def abort(self, reason: str = "aborted", transient: bool = False) -> None:
+        """Cancel the transfer; the waiting process sees a NetworkError.
+
+        ``transient=True`` fails the flow with
+        :class:`TransientNetworkError` instead — the signal that a retry
+        (same endpoints, fresh flow) may succeed.
+        """
         if self.triggered:
             return
-        self.network._finish_flow(self, error=NetworkError(f"flow {self.label}: {reason}"))
+        exc_type = TransientNetworkError if transient else NetworkError
+        self.network._finish_flow(self, error=exc_type(f"flow {self.label}: {reason}"))
 
     def _sync_progress(self, now: float) -> None:
         """Advance ``remaining`` for time elapsed at the current rate."""
@@ -153,6 +182,49 @@ class Network:
             raise NetworkError(f"unknown link {name!r}") from None
 
     # ------------------------------------------------------------------
+    # link health (transient-fault surface)
+    # ------------------------------------------------------------------
+    def set_link_up(self, link: Link | str, up: bool, reason: str = "link down") -> int:
+        """Flap a link down (aborting its in-flight flows with
+        :class:`TransientNetworkError`) or back up.  Returns the number
+        of flows torn down.  Idempotent."""
+        lk = self.link(link) if isinstance(link, str) else link
+        if lk.up == up:
+            return 0
+        lk.up = up
+        torn = 0
+        if not up:
+            for flow in list(lk.flows):
+                flow.abort(f"{reason} ({lk.name})", transient=True)
+                torn += 1
+        self.tracer.emit(
+            self.sim.now, "net.link.up" if up else "net.link.down", link=lk.name,
+        )
+        self._probe.count(
+            "repro_net_link_transitions_total",
+            help="Link up/down transitions",
+            link=lk.name, to="up" if up else "down",
+        )
+        return torn
+
+    def set_link_bandwidth(self, link: Link | str, bandwidth: float) -> None:
+        """Change a link's current capacity (degradation / recovery) and
+        re-run the fair allocation so in-flight flows adjust rate.
+
+        ``nominal_bandwidth`` is untouched: pass it back to restore."""
+        lk = self.link(link) if isinstance(link, str) else link
+        if not bandwidth > 0:
+            raise NetworkError(f"bandwidth must be > 0, got {bandwidth}")
+        if bandwidth == lk.bandwidth:
+            return
+        lk.bandwidth = float(bandwidth)
+        self.tracer.emit(
+            self.sim.now, "net.link.bandwidth", link=lk.name, bandwidth=bandwidth,
+            degraded=lk.degraded,
+        )
+        self._reallocate()
+
+    # ------------------------------------------------------------------
     # flows
     # ------------------------------------------------------------------
     def start_flow(
@@ -191,6 +263,12 @@ class Network:
 
     def _admit(self, flow: Flow) -> None:
         if flow.triggered:  # aborted during the latency phase
+            return
+        down = [lk.name for lk in flow.path if not lk.up]
+        if down:
+            self._finish_flow(flow, error=TransientNetworkError(
+                f"flow {flow.label}: link {down[0]} is down"
+            ))
             return
         if flow.size <= 0.0:
             self._finish_flow(flow)

@@ -146,3 +146,40 @@ class SwitchedTopology(ClusterTopology):
         for flow in doomed:
             flow.abort(reason)
         return len(doomed)
+
+    # ------------------------------------------------------------------
+    # transient-fault surface (driven by repro.resilience.faults)
+    # ------------------------------------------------------------------
+    def set_node_links_up(self, node_id: int, up: bool, reason: str = "link flap") -> int:
+        """Flap both NIC directions of a node down or up.
+
+        Down tears in-flight flows with :class:`TransientNetworkError`
+        (retryable), unlike :meth:`abort_node_flows` whose endpoint is
+        dead.  Returns the number of flows torn down."""
+        self._check(node_id)
+        torn = self.network.set_link_up(self.tx[node_id], up, reason)
+        torn += self.network.set_link_up(self.rx[node_id], up, reason)
+        return torn
+
+    def scale_node_bandwidth(self, node_id: int, factor: float) -> None:
+        """Set both NIC directions to ``factor`` × nominal bandwidth.
+
+        Models a straggler node (slow NIC, congested uplink).  The factor
+        is absolute against design capacity, not cumulative: ``1.0``
+        restores full speed regardless of prior degradations."""
+        self._check(node_id)
+        if not factor > 0:
+            raise NetworkError(f"bandwidth factor must be > 0, got {factor}")
+        for link in (self.tx[node_id], self.rx[node_id]):
+            self.network.set_link_bandwidth(link, link.nominal_bandwidth * factor)
+
+    def drop_node_flows(self, node_id: int, reason: str = "transfer dropped") -> int:
+        """Drop the node's in-flight transfers *without* touching link
+        state — a lossy blip rather than an outage.  Flows fail with
+        :class:`TransientNetworkError`; an immediate retry can succeed.
+        Returns the number of flows dropped."""
+        self._check(node_id)
+        doomed = set(self.tx[node_id].flows) | set(self.rx[node_id].flows)
+        for flow in doomed:
+            flow.abort(reason, transient=True)
+        return len(doomed)

@@ -1,0 +1,315 @@
+"""Spare-node pool and the self-healing state machine.
+
+After ``recover()`` the cluster runs — but *degraded*: with few nodes
+the only legal restore target is often the group's own parity node, so
+one more crash in the wrong place is fatal.  The paper stops there; a
+production cluster does not.  The :class:`SelfHealer` drives the cycle
+
+::
+
+                    node crash
+    PROTECTED ───────────────────────▶ DEGRADED
+        ▲                                 │
+        │                                 │ reprotect()
+        │  layout valid, parity           ▼
+        └───────────────────────── RE-PROTECTING
+           everywhere, audits         (pull spare, re-place
+           green                       members, re-encode)
+
+pulling a node from the :class:`SparePool` when one is available,
+re-running placement for crowded groups, and re-encoding parity via
+:meth:`~repro.core.dvdc.DisklessCheckpointer.heal`.  The time spent
+outside PROTECTED — the *window of vulnerability* during which a second
+failure could be unrecoverable — is recorded per incident and exported
+as the ``repro_degraded_window_seconds`` histogram; the Monte-Carlo
+layer (:func:`repro.model.montecarlo.window_loss_probability`) turns
+that window into a loss probability for Fig.-5-style studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..cluster.cluster import VirtualCluster
+from ..core.dvdc import DisklessCheckpointer
+from ..core.placement import validate_layout
+from ..sim import NULL_TRACER, Tracer
+from ..telemetry import probe_of
+
+__all__ = ["ClusterHealth", "SparePool", "SelfHealer", "HealingReport"]
+
+
+class ClusterHealth(str, Enum):
+    """Protection state of the cluster against the *next* failure."""
+
+    PROTECTED = "protected"
+    DEGRADED = "degraded"
+    REPROTECTING = "reprotecting"
+
+
+class SparePool:
+    """Cold spare nodes: provisioned in the cluster, powered down empty.
+
+    A spare is an ordinary :class:`~repro.cluster.node.PhysicalNode`
+    that was cleanly deactivated at build time, so placement never uses
+    it until :meth:`acquire` powers it on (empty, maximally free — the
+    load-based placement helpers then prefer it naturally).
+    """
+
+    def __init__(self, cluster: VirtualCluster, node_ids: list[int] | None = None):
+        self.cluster = cluster
+        self._available: list[int] = []
+        self.acquired: list[int] = []
+        for nid in node_ids or []:
+            self.add(nid)
+
+    @classmethod
+    def provision(cls, cluster: VirtualCluster, count: int) -> "SparePool":
+        """Deactivate the ``count`` highest-numbered empty nodes as spares.
+
+        Call after VM placement: only nodes hosting nothing qualify.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        empty = [
+            n.node_id
+            for n in reversed(cluster.nodes)
+            if n.alive and not n.vms and not n.checkpoint_store and not n.parity_store
+        ]
+        if len(empty) < count:
+            raise ValueError(
+                f"only {len(empty)} empty node(s) available for {count} spare(s)"
+            )
+        return cls(cluster, empty[:count])
+
+    def add(self, node_id: int) -> None:
+        node = self.cluster.node(node_id)
+        if node.alive:
+            node.deactivate()
+        self._available.append(node_id)
+        self._available.sort()
+
+    @property
+    def available(self) -> tuple[int, ...]:
+        return tuple(self._available)
+
+    def __len__(self) -> int:
+        return len(self._available)
+
+    def acquire(self) -> int | None:
+        """Power on the lowest-numbered spare; None when the pool is dry."""
+        if not self._available:
+            return None
+        nid = self._available.pop(0)
+        self.cluster.repair_node(nid)
+        self.acquired.append(nid)
+        return nid
+
+
+@dataclass
+class HealingReport:
+    """Outcome of one :meth:`SelfHealer.reprotect` pass."""
+
+    state: ClusterHealth
+    rounds: int = 0
+    spares_used: list[int] = field(default_factory=list)
+    relocated: dict[int, int] = field(default_factory=dict)
+    healed_groups: list[int] = field(default_factory=list)
+    #: seconds from the degrading failure to PROTECTED; None if still open
+    window_seconds: float | None = None
+    issues: list[str] = field(default_factory=list)
+
+
+class SelfHealer:
+    """Drives the cluster back to PROTECTED after failures."""
+
+    def __init__(
+        self,
+        checkpointer: DisklessCheckpointer,
+        spares: SparePool | None = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.ck = checkpointer
+        self.cluster = checkpointer.cluster
+        self.spares = spares if spares is not None else SparePool(checkpointer.cluster)
+        self.tracer = tracer
+        self.probe = probe_of(tracer)
+        self.state = ClusterHealth.PROTECTED
+        self.degraded_since: float | None = None
+        #: closed vulnerability windows, (start, end) sim seconds
+        self.windows: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    # assessment
+    # ------------------------------------------------------------------
+    def issues(self) -> list[str]:
+        """Everything standing between the cluster and full protection."""
+        out: list[str] = []
+        if self.ck.committed_epoch < 0:
+            out.append("no committed checkpoint epoch")
+            return out
+        for vm in self.cluster.all_vms:
+            if vm.node_id is None:
+                out.append(f"vm {vm.vm_id} failed and not yet rebuilt")
+        out.extend(validate_layout(self.ck.layout, self.cluster, tolerance=1).errors)
+        for g in self.ck.layout.groups:
+            pnode = self.cluster.node(g.parity_node)
+            if not pnode.alive:
+                out.append(f"group {g.group_id}: parity node {g.parity_node} down")
+            elif g.group_id not in pnode.parity_store:
+                out.append(
+                    f"group {g.group_id}: no parity block on node {g.parity_node}"
+                )
+        return out
+
+    def assess(self) -> tuple[ClusterHealth, list[str]]:
+        """Re-evaluate protection state; closes the vulnerability window
+        (and observes the histogram) on the transition back to PROTECTED.
+        """
+        found = self.issues()
+        now = self.cluster.sim.now
+        if found:
+            if self.degraded_since is None:
+                self.degraded_since = now
+            if self.state != ClusterHealth.REPROTECTING:
+                self._transition(ClusterHealth.DEGRADED)
+        else:
+            if self.degraded_since is not None:
+                window = now - self.degraded_since
+                self.windows.append((self.degraded_since, now))
+                self.degraded_since = None
+                self.probe.observe(
+                    "repro_degraded_window_seconds", window,
+                    help="Time spent without full single-failure protection",
+                )
+                self.tracer.emit(now, "healing.window_closed", seconds=window)
+            self._transition(ClusterHealth.PROTECTED)
+        return self.state, found
+
+    def _transition(self, state: ClusterHealth) -> None:
+        if state == self.state:
+            return
+        self.tracer.emit(
+            self.cluster.sim.now, "healing.state",
+            previous=self.state.value, state=state.value,
+        )
+        self.probe.count(
+            "repro_resilience_health_transitions_total",
+            help="Self-healing state-machine transitions",
+            to=state.value,
+        )
+        self.state = state
+
+    def on_failure(self, event=None) -> None:
+        """Failure-instant hook: opens the vulnerability window.  Shaped
+        to subscribe directly to a
+        :class:`~repro.failures.injector.FailureInjector`."""
+        if self.degraded_since is None:
+            self.degraded_since = self.cluster.sim.now
+        self._transition(ClusterHealth.DEGRADED)
+
+    @property
+    def last_window_seconds(self) -> float | None:
+        if not self.windows:
+            return None
+        start, end = self.windows[-1]
+        return end - start
+
+    # ------------------------------------------------------------------
+    # re-protection
+    # ------------------------------------------------------------------
+    def _relocate_crowded_members(self, report: HealingReport):
+        """Process: move members off nodes hosting 2+ of the same group.
+
+        The relocation ships the VM memory plus its committed checkpoint
+        image over the network, then re-registers both on the target —
+        parity stays valid because the image bytes do not change.
+        """
+        for group in list(self.ck.layout.groups):
+            per_node: dict[int, list[int]] = {}
+            for v in group.member_vm_ids:
+                node = self.cluster.vm(v).node_id
+                if node is not None:
+                    per_node.setdefault(node, []).append(v)
+            for node_id, members in sorted(per_node.items()):
+                if len(members) < 2:
+                    continue
+                member_nodes = set(per_node)
+                targets = [
+                    n for n in self.cluster.alive_nodes
+                    if n.node_id not in member_nodes
+                    and n.node_id != group.parity_node
+                ]
+                if not targets:
+                    continue
+                target = min(targets, key=lambda n: (len(n.vms), n.node_id))
+                vm_id = max(members)  # move the newest member, keep the rest
+                vm = self.cluster.vm(vm_id)
+                src_node = self.cluster.node(node_id)
+                img = src_node.checkpoint_store.get(vm_id)
+                size = vm.memory_bytes + (img.logical_bytes if img else 0.0)
+                try:
+                    yield self.cluster.topology.transfer(
+                        node_id, target.node_id, size,
+                        label=f"heal.move.vm{vm_id}",
+                    )
+                except Exception:
+                    continue  # a fresh failure mid-move; reassess next round
+                if vm.node_id != node_id:
+                    continue  # the VM moved (or died) while we streamed
+                self.cluster.move_vm(vm_id, target.node_id)
+                if img is not None and src_node.checkpoint_store.get(vm_id) is img:
+                    del src_node.checkpoint_store[vm_id]
+                    self.cluster.node(target.node_id).store_checkpoint(img)
+                report.relocated[vm_id] = target.node_id
+                self.tracer.emit(
+                    self.cluster.sim.now, "healing.relocate",
+                    vm=vm_id, src=node_id, dst=target.node_id,
+                )
+
+    def reprotect(self, max_rounds: int = 4):
+        """Process: drive the cluster back to PROTECTED.
+
+        Each round: re-place crowded members, re-encode co-located or
+        missing parity (:meth:`DisklessCheckpointer.heal`), reassess.
+        If a round makes no progress and a spare is available, one is
+        pulled (powered on empty) and the next round's placement uses
+        it.  Terminates in DEGRADED — explicitly, not by exception —
+        when the pool is dry and no valid placement exists.
+        """
+        report = HealingReport(state=self.state)
+        _, found = self.assess()
+        if not found:
+            report.state = self.state
+            return report
+        self._transition(ClusterHealth.REPROTECTING)
+        for _ in range(max_rounds):
+            report.rounds += 1
+            yield from self._relocate_crowded_members(report)
+            healed = yield from self.ck.heal()
+            report.healed_groups.extend(healed)
+            _, found = self.assess()
+            if self.state == ClusterHealth.PROTECTED:
+                break
+            self._transition(ClusterHealth.REPROTECTING)
+            if healed or report.relocated:
+                continue  # progress without spending a spare; go again
+            spare = self.spares.acquire()
+            if spare is None:
+                break  # out of options: settle in DEGRADED below
+            report.spares_used.append(spare)
+            self.tracer.emit(
+                self.cluster.sim.now, "healing.spare_acquired", node=spare,
+            )
+        _, found = self.assess()
+        if self.state != ClusterHealth.PROTECTED:
+            self._transition(ClusterHealth.DEGRADED)
+        report.state = self.state
+        report.issues = found
+        report.window_seconds = (
+            self.last_window_seconds
+            if self.state == ClusterHealth.PROTECTED
+            else None
+        )
+        return report

@@ -1,0 +1,191 @@
+"""Retry/backoff policies for transient transfer failures.
+
+A transfer that dies because its endpoint node crashed is gone for good
+— the DVDC two-phase commit aborts the epoch and recovery takes over.
+A transfer that dies because a link flapped, a stream was dropped, or an
+attempt timed out is worth retrying: the same endpoints are alive and a
+fresh flow a few (simulated) milliseconds later usually completes.  The
+network layer tags the second kind with
+:class:`~repro.network.link.TransientNetworkError`; this module retries
+exactly that subclass and nothing else.
+
+The policy is the classic exponential-backoff-with-jitter loop used by
+every production RPC stack, driven entirely by the *simulation* clock
+and RNG so runs stay deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from ..network.link import Flow, NetworkError, TransientNetworkError
+from ..sim import Simulator
+from ..telemetry import NULL_PROBE, Probe
+
+__all__ = ["RetryPolicy", "RetryExhausted", "retrying_transfer", "DEFAULT_RETRY"]
+
+
+class RetryExhausted(NetworkError):
+    """A transfer's retry budget ran out.
+
+    This is a *classified, recoverable* failure: callers must treat it
+    like a transient outage that outlived patience — abort the current
+    epoch (the two-phase commit keeps the previous one valid) or requeue
+    the recovery pass — never as a protocol bug.  Subclassing
+    :class:`~repro.network.link.NetworkError` (but **not** the transient
+    variant) means every existing "transfer died" handling path in the
+    protocol absorbs it without modification, and nothing re-retries it.
+    """
+
+    def __init__(self, label: str, attempts: int, last_error: BaseException | None):
+        super().__init__(
+            f"transfer {label}: retry budget exhausted after {attempts} "
+            f"attempt(s): {last_error}"
+        )
+        self.label = label
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for :func:`retrying_transfer`.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (>= 1).
+    base_delay:
+        Backoff before the second attempt, seconds.
+    multiplier:
+        Geometric growth of the backoff per retry.
+    max_delay:
+        Backoff cap, seconds.
+    jitter:
+        Fractional symmetric jitter: the sleep is drawn uniformly from
+        ``delay * [1-jitter, 1+jitter]`` using the supplied sim RNG
+        (midpoint when no RNG is given).  Keeps synchronized retries
+        from re-colliding on a shared link.
+    attempt_timeout:
+        If set, each attempt is aborted (transiently) after this many
+        seconds — the straggler-escape hatch.
+    deadline:
+        If set, total budget in seconds from the first attempt; once a
+        backoff would cross it the transfer gives up.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    attempt_timeout: float | None = None
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if not (0 <= self.jitter < 1):
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be > 0 when set")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 when set")
+
+    def backoff_delay(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Sleep before attempt ``attempt + 1`` (``attempt`` >= 1)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter <= 0 or raw == 0:
+            return raw
+        u = float(rng.random()) if rng is not None else 0.5
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * u)
+
+
+#: Sensible default for LAN-scale transfers: 5 tries over ~a few seconds.
+DEFAULT_RETRY = RetryPolicy()
+
+
+def _attempt_timeout(flow: Flow, probe: Probe) -> None:
+    if not flow.triggered:
+        probe.count(
+            "repro_resilience_attempt_timeouts_total",
+            help="Transfer attempts aborted by per-attempt timeout",
+        )
+        flow.abort("attempt timeout", transient=True)
+
+
+def retrying_transfer(
+    sim: Simulator,
+    make_flow: Callable[[], Flow],
+    policy: RetryPolicy,
+    rng: np.random.Generator | None = None,
+    probe: Probe = NULL_PROBE,
+    label: str = "transfer",
+) -> Generator[Any, Any, Flow]:
+    """Process generator: run ``make_flow()`` until it completes or the
+    retry budget drains.
+
+    Wrap with ``sim.process(...)`` — the resulting process succeeds with
+    the completed :class:`Flow`, fails with the original (non-transient)
+    :class:`~repro.network.link.NetworkError` on a fatal abort, and fails
+    with :class:`RetryExhausted` once ``policy`` is out of attempts,
+    budget, or deadline.
+    """
+    started = sim.now
+    attempt = 0
+    last_error: BaseException | None = None
+    while True:
+        attempt += 1
+        flow = make_flow()
+        guard = None
+        if policy.attempt_timeout is not None:
+            guard = sim.schedule(policy.attempt_timeout, _attempt_timeout, flow, probe)
+        try:
+            result = yield flow
+            if attempt > 1:
+                probe.count(
+                    "repro_resilience_recovered_transfers_total",
+                    help="Transfers that completed only after retrying",
+                )
+            return result
+        except TransientNetworkError as exc:
+            last_error = exc
+        finally:
+            if guard is not None:
+                guard.cancel()
+        probe.count(
+            "repro_resilience_retries_total",
+            help="Transfer attempts that failed transiently and were retried",
+        )
+        deadline_left = (
+            math.inf
+            if policy.deadline is None
+            else policy.deadline - (sim.now - started)
+        )
+        if attempt >= policy.max_attempts:
+            probe.count(
+                "repro_resilience_retry_exhausted_total",
+                help="Transfers abandoned with the retry budget spent",
+                reason="attempts",
+            )
+            raise RetryExhausted(label, attempt, last_error)
+        delay = policy.backoff_delay(attempt, rng)
+        if delay > deadline_left:
+            probe.count(
+                "repro_resilience_retry_exhausted_total",
+                help="Transfers abandoned with the retry budget spent",
+                reason="deadline",
+            )
+            raise RetryExhausted(label, attempt, last_error)
+        if delay > 0:
+            yield sim.timeout(delay)

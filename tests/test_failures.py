@@ -154,6 +154,12 @@ class TestSchedule:
             FailureSchedule.draw(rng, Exponential(0.1), 0, horizon=10.0)
         with pytest.raises(ValueError):
             FailureSchedule.draw(rng, Exponential(0.1), 1, horizon=0.0)
+        with pytest.raises(ValueError):
+            FailureSchedule.draw(rng, Exponential(0.1), 1, horizon=-10.0)
+        with pytest.raises(ValueError):
+            FailureSchedule.draw(
+                rng, Exponential(0.1), 1, horizon=10.0, repair_time=-1.0
+            )
 
 
 class TestInjector:

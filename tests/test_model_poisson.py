@@ -7,6 +7,7 @@ import pytest
 
 from repro.model import (
     estimate_expected_time,
+    estimate_window_loss,
     expected_failures,
     expected_time_checkpointed,
     expected_time_no_checkpoint,
@@ -17,6 +18,7 @@ from repro.model import (
     paper_literal_overhead,
     simulate_completion_times,
     truncated_mean_failure_time,
+    window_loss_probability,
 )
 
 
@@ -187,3 +189,39 @@ class TestMonteCarloHarness:
         est = estimate_expected_time(rng, 1e-3, 100.0, None, n_runs=500)
         lo, hi = est.ci()
         assert lo < est.mean < hi
+
+
+class TestWindowLoss:
+    """The window-of-vulnerability loss model behind SelfHealer telemetry."""
+
+    def test_closed_form(self):
+        lam, n, w = 1 / 10800.0, 4, 120.0
+        p = window_loss_probability(lam, n, w)
+        assert p == pytest.approx(1.0 - math.exp(-lam * (n - 1) * w))
+
+    def test_edges_and_monotonicity(self):
+        assert window_loss_probability(1e-3, 4, 0.0) == 0.0
+        short = window_loss_probability(1e-3, 4, 10.0)
+        long = window_loss_probability(1e-3, 4, 100.0)
+        assert 0.0 < short < long < 1.0
+        # more survivor nodes -> more ways a second failure lands
+        assert window_loss_probability(1e-3, 8, 10.0) > short
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_loss_probability(0.0, 4, 10.0)
+        with pytest.raises(ValueError):
+            window_loss_probability(1e-3, 1, 10.0)
+        with pytest.raises(ValueError):
+            window_loss_probability(1e-3, 4, -1.0)
+
+    def test_monte_carlo_corroborates(self, rng):
+        lam, n, w = 1 / 3600.0, 4, 300.0
+        est = estimate_window_loss(rng, lam, n, w, n_runs=20000)
+        exact = window_loss_probability(lam, n, w)
+        assert abs(est.mean - exact) < 4 * est.std_error + 1e-9
+
+    def test_estimate_deterministic_in_seed(self):
+        a = estimate_window_loss(np.random.default_rng(5), 1e-3, 4, 60.0)
+        b = estimate_window_loss(np.random.default_rng(5), 1e-3, 4, 60.0)
+        assert a.mean == b.mean
