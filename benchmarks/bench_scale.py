@@ -1,0 +1,94 @@
+"""Thousand-node scale benchmark: DVDC epochs on the optimized hot paths.
+
+Times the canonical scale scenario (:mod:`repro.perf.scale`) at 64, 256,
+and 1024 nodes with the incremental fluid-flow allocator + COW snapshots
++ buffer pool, against the pre-optimization reference allocator, and
+writes ``BENCH_scale.json`` at the repo root.  The reference allocator is
+intractably slow at 1024 nodes, so above 64 nodes it is measured over a
+capped wall-clock window and its epoch throughput derived from the
+(bit-identical) events-per-epoch of the incremental run.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py -q
+
+or regenerate the JSON directly (what CI's perf job diffs against)::
+
+    PYTHONPATH=src python -m repro.cli bench scale --write
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import ScaleConfig, generate_bench, heap_cancel_bench, run_scale_point
+
+BENCH_REPORT = Path(__file__).resolve().parents[1] / "BENCH_scale.json"
+
+
+def test_incremental_allocator_speedup(benchmark, report):
+    """Incremental reallocation beats the reference at 64 nodes already."""
+    inc = benchmark(lambda: run_scale_point(ScaleConfig(n_nodes=64, epochs=2)))
+    ref = run_scale_point(ScaleConfig(n_nodes=64, epochs=2, allocator="reference"))
+    assert inc["events"] == ref["events"], "allocators must execute identical event streams"
+    speedup = inc["events_per_sec"] / ref["events_per_sec"]
+    report(
+        f"\n[scale 64 nodes] incremental {inc['events_per_sec']:,.0f} ev/s, "
+        f"reference {ref['events_per_sec']:,.0f} ev/s -> {speedup:.1f}x"
+    )
+    assert speedup > 1.5, f"incremental allocator should win at 64 nodes, got {speedup:.2f}x"
+
+
+def test_differential_digests_bit_identical(report):
+    """The optimized paths change nothing observable: all digests match."""
+    cfg = dict(n_nodes=16, epochs=2, trace=True)
+    inc = run_scale_point(ScaleConfig(**cfg), collect_digests=True)["digests"]
+    ref = run_scale_point(
+        ScaleConfig(**cfg, allocator="reference"), collect_digests=True
+    )["digests"]
+    raw = run_scale_point(ScaleConfig(**cfg, cow=False), collect_digests=True)["digests"]
+    assert inc == ref == raw
+    report(f"\n[scale differential] digests identical across paths: {sorted(inc)}")
+
+
+def test_heap_cancel_bench_bounded(benchmark, report):
+    """Cancel-heavy schedules keep the heap near the live set: O(log live)."""
+    small = heap_cancel_bench(20_000)
+    big = benchmark(lambda: heap_cancel_bench(80_000))
+    # peak heap tracks the live window (~64 events + compaction slack),
+    # independent of how many total events were scheduled and cancelled
+    assert small["peak_heap"] < 1024
+    assert big["peak_heap"] < 1024
+    assert big["compactions"] > 0
+    report(
+        f"\n[heap bench] {big['ops_per_sec']:,.0f} ops/s, peak heap "
+        f"{big['peak_heap']} (of {big['n_events']:,} scheduled), "
+        f"{big['compactions']} compactions"
+    )
+
+
+@pytest.mark.slow
+def test_write_bench_scale_report(report):
+    """Full 64/256/1024 sweep; writes ``BENCH_scale.json``."""
+    result = generate_bench(quick=False, log=print)
+    BENCH_REPORT.write_text(json.dumps(result, indent=2) + "\n")
+    by_nodes = {p["n_nodes"]: p for p in result["points"]}
+    assert set(by_nodes) == {64, 256, 1024}
+    # the PR's acceptance bar: >= 5x epoch throughput at 1024 nodes
+    p1024 = by_nodes[1024]
+    assert p1024["speedup_vs_reference"] >= 5.0
+    lines = [f"\n[scale sweep] wrote {BENCH_REPORT.name}"]
+    for n in sorted(by_nodes):
+        p = by_nodes[n]
+        capped = " (reference wall-capped)" if p["reference_capped"] else ""
+        lines.append(
+            f"  {n:>4} nodes / {p['n_vms']} VMs: "
+            f"{p['events_per_sec']:,.0f} ev/s, "
+            f"{p['speedup_vs_reference']:.1f}x vs reference{capped}, "
+            f"peak RSS {p['peak_rss_bytes'] / 1e6:.0f}MB"
+        )
+    lines.append(f"  heap bench: {result['heap_bench']['ops_per_sec']:,.0f} ops/s")
+    report("\n".join(lines))

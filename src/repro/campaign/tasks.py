@@ -19,6 +19,10 @@ Built-in kinds cover the repo's three quantitative workloads:
 ``study_cell``
     One (method, trace seed) cell of a paired job study, running the
     full cluster simulation and returning the ``JobResult`` fields.
+``scale_digests``
+    One perf scale-scenario run, returning its bit-exactness digests —
+    the golden determinism tests' vehicle for proving campaign
+    ``--jobs N`` byte-stability.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ __all__ = [
     "task_kinds",
     "run_fig5_point",
     "run_mc_chunk",
+    "run_scale_digests",
     "run_study_cell",
 ]
 
@@ -146,6 +151,29 @@ def run_mc_chunk(params: dict, seed: int | None) -> dict:
         bool(params.get("final_checkpoint", True)),
     )
     return {"chunk_index": index, **chunk_moments(samples)}
+
+
+@register_task("scale_digests", version="1")
+def run_scale_digests(params: dict, seed: int | None) -> dict:
+    """Digest one perf scale-scenario run (see :mod:`repro.perf.scale`).
+
+    params: n_nodes, epochs, allocator, cow, plus any other
+    :class:`~repro.perf.ScaleConfig` field.  Returns the scenario's
+    bit-exactness digests; the golden determinism tests run this kind
+    under ``--jobs 1`` and ``--jobs 4`` and require identical output.
+    """
+    from ..perf import ScaleConfig, run_scale_point
+
+    cfg = ScaleConfig(**{**params, "trace": True})
+    result = run_scale_point(cfg, collect_digests=True)
+    return {
+        "n_nodes": cfg.n_nodes,
+        "allocator": cfg.allocator,
+        "cow": cfg.cow,
+        "events": result["events"],
+        "sim_time": result["sim_time"].hex(),
+        "digests": result["digests"],
+    }
 
 
 @register_task("study_cell", version="1")

@@ -24,6 +24,10 @@ trace export
 metrics
     Run an instrumented scenario and print its metrics in Prometheus
     text exposition format (or as a summary table).
+bench scale
+    Run the thousand-node scale sweep (incremental allocator + COW +
+    buffer pool vs the reference paths) and optionally gate against a
+    recorded ``BENCH_scale.json`` baseline (``--check``).
 calibrate
     Measure this host's streaming XOR bandwidth (the model's
     ``memory_xor_bandwidth`` input).
@@ -607,6 +611,60 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .perf import compare_to_baseline, generate_bench
+
+    result = generate_bench(
+        quick=args.quick, epochs=args.epochs, ref_cap=args.ref_cap,
+        log=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    rows = []
+    for p in result["points"]:
+        rows.append([
+            p["n_nodes"],
+            p["n_vms"],
+            f"{p['events_per_sec']:,.0f}",
+            f"{p['epochs_per_sec']:.3f}",
+            f"{p['speedup_vs_reference']:.1f}x"
+            + ("*" if p["reference_capped"] else ""),
+            format_bytes(p["peak_rss_bytes"]),
+        ])
+    print(render_table(
+        ["nodes", "VMs", "events/s", "epochs/s", "vs reference", "peak RSS"],
+        rows,
+        title="DVDC scale sweep (incremental allocator + COW + buffer pool)",
+    ))
+    if any(p["reference_capped"] for p in result["points"]):
+        print("  * reference measured over a capped wall-clock window; "
+              "speedup from events/s (identical event streams)")
+    hp = result["heap_bench"]
+    print(f"  heap bench: {hp['ops_per_sec']:,.0f} ops/s, peak heap "
+          f"{hp['peak_heap']} of {hp['n_events']:,} scheduled "
+          f"({hp['compactions']} compactions)")
+    if args.write:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            baseline = _json.load(fh)
+        failures, warnings = compare_to_baseline(
+            result, baseline, tolerance=args.tolerance
+        )
+        for w in warnings:
+            print(f"WARN {w}", file=sys.stderr)
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression gate passed against {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .cluster import measure_xor_bandwidth
 
@@ -777,6 +835,30 @@ def build_parser() -> argparse.ArgumentParser:
     au.add_argument("--strategy", choices=["forked", "full", "incremental"],
                     default="forked", help="capture strategy for trials")
     au.set_defaults(func=_cmd_audit)
+
+    be = sub.add_parser("bench", help="performance benchmarks")
+    besub = be.add_subparsers(dest="bench_command", required=True)
+    bs = besub.add_parser(
+        "scale",
+        help="thousand-node scale sweep; optionally gate against a baseline",
+    )
+    bs.add_argument("--quick", action="store_true",
+                    help="64-node point only (the CI perf-regression job)")
+    bs.add_argument("--epochs", type=_positive_int, default=3,
+                    help="checkpoint epochs per point")
+    bs.add_argument("--ref-cap", type=float, default=20.0,
+                    help="wall-clock cap for the reference allocator above "
+                         "64 nodes, seconds")
+    bs.add_argument("--write", action="store_true",
+                    help="write the result JSON (see --out)")
+    bs.add_argument("--out", default="BENCH_scale.json",
+                    help="output path for --write")
+    bs.add_argument("--check", default=None, metavar="BASELINE",
+                    help="compare against a recorded BENCH_scale.json; exit 1 "
+                         "if the incremental/reference speedup regressed")
+    bs.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional regression for --check")
+    bs.set_defaults(func=_cmd_bench_scale)
 
     ca = sub.add_parser("calibrate", help="measure host XOR bandwidth")
     ca.add_argument("--size", type=int, default=1 << 24, help="buffer bytes")

@@ -45,6 +45,7 @@ class ClusterSpec:
         nas_bandwidth: float = DEFAULT_NAS_BANDWIDTH,
         nas_disk: DiskSpec | None = None,
         latency: float = DEFAULT_LATENCY,
+        allocator: str = "incremental",
     ):
         if n_nodes < 1:
             raise ValueError(f"need >= 1 node, got {n_nodes}")
@@ -55,6 +56,8 @@ class ClusterSpec:
         self.nas_bandwidth = nas_bandwidth
         self.nas_disk = nas_disk or DiskSpec(bandwidth=nas_bandwidth, channels=1)
         self.latency = latency
+        #: fluid-flow reallocation strategy (see repro.network.link)
+        self.allocator = allocator
 
 
 class VirtualCluster:
@@ -81,6 +84,7 @@ class VirtualCluster:
             nas_bandwidth=self.spec.nas_bandwidth,
             latency=self.spec.latency,
             tracer=tracer,
+            allocator=self.spec.allocator,
         )
         self.nas = NAS(sim, disk_spec=self.spec.nas_disk, tracer=tracer)
         self.vms: dict[int, VirtualMachine] = {}

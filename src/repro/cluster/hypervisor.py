@@ -13,8 +13,11 @@ mechanism/policy separate lets every architecture variant (Figs. 1, 3,
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
+from .bufpool import GLOBAL_POOL
 from .checksum import block_checksum
 from .images import CheckpointImage, CheckpointKind
 from .memory import PageDelta
@@ -141,8 +144,28 @@ class Hypervisor:
                     f"incremental commit for vm {image.vm_id} without a "
                     "functional base checkpoint"
                 )
-            merged = prev.payload_flat().copy()
             delta: PageDelta = image.payload
+            prev_payload = prev.payload
+            if (
+                isinstance(prev_payload, np.ndarray)
+                and prev_payload.ndim == 1
+                and prev_payload.dtype == np.uint8
+                and prev_payload.base is None
+                # sole owners: prev is held only by the store, our local,
+                # and getrefcount's argument; its payload only by the
+                # attribute, our local, and getrefcount's argument
+                and sys.getrefcount(prev) <= 3
+                and sys.getrefcount(prev_payload) <= 3
+            ):
+                # Steal the old committed buffer and patch the delta in
+                # place: the commit costs O(dirty pages), not O(image).
+                prev.payload = None
+                merged = prev_payload
+            else:
+                src = prev.payload_flat()
+                merged = GLOBAL_POOL.acquire(src.nbytes)
+                np.copyto(merged, src)
+            del prev_payload
             delta.apply_to(merged)
             # The committed object is a merged full snapshot: it occupies
             # full-image RAM on the node even though only the delta moved.
@@ -160,7 +183,33 @@ class Hypervisor:
             # Commit is the moment the bytes are known good: fingerprint
             # them so restores and scrubs can detect later bit-rot.
             image.meta["checksum"] = block_checksum(image.payload)
+        replaced = self.node.checkpoint_store.get(image.vm_id)
         self.node.store_checkpoint(image)
+        self._recycle_replaced(replaced, image)
+
+    def _recycle_replaced(self, prev: CheckpointImage | None,
+                          image: CheckpointImage) -> None:
+        """Recycle the payload of a just-replaced committed checkpoint.
+
+        Only fires when nothing else references the old image (refcount
+        gate) — a checkpoint a test or scrubber still holds stays intact.
+        """
+        if (
+            prev is None
+            or prev is image
+            or not isinstance(prev.payload, np.ndarray)
+            # commit_checkpoint's local + our parameter + getrefcount's
+            # argument == 3; anything above means an external holder
+            or sys.getrefcount(prev) > 3
+        ):
+            return
+        buf = prev.payload
+        prev.payload = None
+        vm = self.node.vms.get(prev.vm_id)
+        if vm is not None and vm.image is not None:
+            vm.image.recycle_snapshot(buf)
+        else:
+            GLOBAL_POOL.recycle(buf)
 
     def committed(self, vm_id: int) -> CheckpointImage | None:
         return self.node.checkpoint_store.get(vm_id)

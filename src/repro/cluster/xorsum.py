@@ -69,22 +69,39 @@ def xor_reduce(buffers: Iterable[np.ndarray | bytes]) -> np.ndarray:
     return out
 
 
-def xor_reduce_padded(buffers: Iterable[np.ndarray | bytes]) -> np.ndarray:
+def xor_reduce_padded(
+    buffers: Iterable[np.ndarray | bytes], out: np.ndarray | None = None
+) -> np.ndarray:
     """XOR of buffers of *unequal* length, zero-padded to the longest.
 
     RAID over heterogeneous VM images: a short member behaves as if
     zero-extended, so parity is as long as the largest image and any
     single member remains recoverable (reconstruct, then truncate to
     the member's own length).
+
+    ``out``, if given, must be a flat uint8 array at least as long as the
+    longest buffer; the result lands in ``out[:longest]`` (zeroed first)
+    and that slice is returned — lets parity exchange fold through pooled
+    scratch instead of allocating per call.
     """
     bufs = [as_u8(b) for b in buffers]
     if not bufs:
         raise ValueError("xor_reduce_padded needs at least one buffer")
     n = max(b.shape[0] for b in bufs)
-    out = np.zeros(n, dtype=np.uint8)
+    if out is None:
+        acc = np.zeros(n, dtype=np.uint8)
+    else:
+        if out.dtype != np.uint8 or out.ndim != 1 or out.shape[0] < n:
+            raise ValueError(
+                f"out must be a flat uint8 array of >= {n} bytes"
+            )
+        # exact-length out is returned as-is (not a sliced view) so the
+        # caller can later recycle it to a buffer pool
+        acc = out if out.shape[0] == n else out[:n]
+        acc[:] = 0
     for b in bufs:
-        np.bitwise_xor(out[: b.shape[0]], b, out=out[: b.shape[0]])
-    return out
+        np.bitwise_xor(acc[: b.shape[0]], b, out=acc[: b.shape[0]])
+    return acc
 
 
 def reconstruct_missing_padded(

@@ -49,10 +49,11 @@ from ..checkpoint.base import CaptureOutcome, CaptureStrategy, CheckpointCycleRe
 from ..checkpoint.compression import NO_COMPRESSION, CompressionModel
 from ..checkpoint.coordinator import CoordinatedCheckpoint
 from ..checkpoint.strategies import ForkedCapture
+from ..cluster.bufpool import GLOBAL_POOL
 from ..cluster.checksum import block_checksum
 from ..cluster.cluster import VirtualCluster
 from ..cluster.images import CheckpointImage, CheckpointKind, ParityBlock
-from ..cluster.memory import PageDelta
+from ..cluster.memory import PageDelta, recycle_delta
 from ..cluster.vm import VMState
 from ..cluster.xorsum import reconstruct_missing_padded, xor_reduce_padded
 from ..network.link import NetworkError
@@ -173,7 +174,11 @@ class DisklessCheckpointer:
         old_pages = old.payload_flat().reshape(
             delta.n_pages_total, delta.page_size
         )
-        xored = np.bitwise_xor(old_pages[delta.indices], delta.pages)
+        # pooled gather + in-place xor: no per-epoch temporaries
+        buf = GLOBAL_POOL.acquire(delta.pages.nbytes)
+        xored = buf.reshape(delta.n_pages, delta.page_size)
+        np.take(old_pages, delta.indices, axis=0, out=xored)
+        np.bitwise_xor(xored, delta.pages, out=xored)
         return PageDelta(
             page_size=delta.page_size,
             n_pages_total=delta.n_pages_total,
@@ -282,10 +287,11 @@ class DisklessCheckpointer:
                         "its checksum — silent corruption; scrub or run a "
                         "full epoch before folding increments"
                     )
-                data = prev.data.copy()
+                data = GLOBAL_POOL.acquire(prev.data.nbytes)
+                np.copyto(data, prev.data)
                 for img in member_images:
                     if img.kind == CheckpointKind.INCREMENTAL:
-                        xd = xor_deltas[img.vm_id]
+                        xd = xor_deltas.pop(img.vm_id)
                         if data.shape[0] != xd.n_pages_total * xd.page_size:
                             raise RuntimeError(
                                 "incremental epochs require homogeneous "
@@ -293,16 +299,26 @@ class DisklessCheckpointer:
                                 "forked capture for heterogeneous groups"
                             )
                         view = data.reshape(xd.n_pages_total, xd.page_size)
-                        # note: fancy indexing yields copies — assign back
-                        view[xd.indices] = np.bitwise_xor(view[xd.indices], xd.pages)
+                        # fancy indexing yields copies, so gather into
+                        # pooled scratch, xor in place, scatter back
+                        scratch_buf = GLOBAL_POOL.acquire(xd.pages.nbytes)
+                        scratch = scratch_buf.reshape(xd.n_pages, xd.page_size)
+                        np.take(view, xd.indices, axis=0, out=scratch)
+                        np.bitwise_xor(scratch, xd.pages, out=scratch)
+                        view[xd.indices] = scratch
+                        del scratch
+                        GLOBAL_POOL.recycle(scratch_buf)
+                        # the xor-delta is fully folded; reclaim its pages
+                        recycle_delta(xd)
                     else:  # a full capture mixed in (e.g. post-recovery)
                         raise RuntimeError(
                             "mixed full/incremental captures within one group "
                             "epoch are not supported; run a full epoch first"
                         )
             else:
+                flats = [img.payload_flat() for img in member_images]
                 data = xor_reduce_padded(
-                    [img.payload_flat() for img in member_images]
+                    flats, out=GLOBAL_POOL.acquire(max(f.shape[0] for f in flats))
                 )
         logical = max(img.logical_bytes for img in member_images)
         full_logical = max(

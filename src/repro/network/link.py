@@ -7,9 +7,24 @@ Fig. 5 turns on — N checkpoint streams converging on one NAS ingress
 link serialize to ``bw/N`` each, while DVDC's peer-to-peer exchanges
 ride separate node links in parallel.
 
-The allocation is recomputed from scratch whenever any flow starts or
-finishes.  With the dozens of flows a cluster checkpoint generates this
-is far cheaper than event-per-packet simulation and is deterministic.
+Two allocators implement the same max-min fair solution:
+
+* ``"incremental"`` (default) — when a flow starts, finishes, or a link
+  changes, only the *affected component* is recomputed: the flows
+  transitively connected to the changed links through shared links.
+  Disjoint components keep their rates (max-min fairness is separable
+  across link-disjoint flow sets), so a thousand-node cluster running
+  parallel group exchanges pays per-group cost, not per-cluster cost.
+* ``"reference"`` — recomputes every active flow on every change, the
+  original from-scratch algorithm.  Kept as the bit-exactness oracle:
+  ``tests/test_golden_determinism.py`` proves both allocators produce
+  identical rates, completion times, and traces.
+
+Flow progress uses an *anchor* representation: ``remaining`` bytes are
+stored as of the instant the flow's rate last changed, and interpolated
+on read.  A flow whose rate is unchanged by a reallocation is not
+touched at all — its completion event stays scheduled — which is what
+makes the incremental allocator bit-identical to the reference one.
 """
 
 from __future__ import annotations
@@ -22,6 +37,9 @@ from ..sim.engine import EventHandle
 from ..telemetry import probe_of
 
 __all__ = ["Link", "Flow", "Network", "NetworkError", "TransientNetworkError"]
+
+#: Valid values for ``Network(allocator=...)``.
+ALLOCATORS = ("incremental", "reference")
 
 
 class NetworkError(RuntimeError):
@@ -53,9 +71,13 @@ class Link:
         once per flow traversing the link.
     """
 
-    __slots__ = ("name", "bandwidth", "nominal_bandwidth", "latency", "flows", "up")
+    __slots__ = (
+        "name", "bandwidth", "nominal_bandwidth", "latency", "flows", "up",
+        "index",
+    )
 
-    def __init__(self, name: str, bandwidth: float, latency: float = 0.0):
+    def __init__(self, name: str, bandwidth: float, latency: float = 0.0,
+                 index: int = 0):
         if not bandwidth > 0:
             raise NetworkError(f"bandwidth must be > 0, got {bandwidth}")
         if latency < 0:
@@ -65,9 +87,13 @@ class Link:
         #: design capacity; ``bandwidth`` may sit below it while degraded
         self.nominal_bandwidth = float(bandwidth)
         self.latency = float(latency)
-        self.flows: set["Flow"] = set()
+        #: insertion-ordered set of flows crossing the link (dict keys —
+        #: admission order, which makes every iteration deterministic)
+        self.flows: dict["Flow", None] = {}
         #: False while the link is flapped down; flows cannot cross it
         self.up = True
+        #: creation order; deterministic tie-break in progressive filling
+        self.index = index
 
     @property
     def utilization(self) -> float:
@@ -97,12 +123,13 @@ class Flow(SimEvent):
     __slots__ = (
         "path",
         "size",
-        "remaining",
         "rate",
         "started_at",
         "finished_at",
-        "_last_progress",
+        "_anchor_remaining",
+        "_anchor_time",
         "_completion",
+        "_order",
         "network",
         "label",
     )
@@ -112,17 +139,31 @@ class Flow(SimEvent):
         self.network = network
         self.path = tuple(path)
         self.size = float(size)
-        self.remaining = float(size)
         self.rate = 0.0
         self.label = label
         self.started_at = network.sim.now
         self.finished_at: float | None = None
-        self._last_progress = network.sim.now
+        # anchor representation: bytes left as of _anchor_time at `rate`
+        self._anchor_remaining = float(size)
+        self._anchor_time = network.sim.now
         self._completion: EventHandle | None = None
+        #: admission sequence; reallocation visits flows in this order so
+        #: both allocators reschedule same-time completions identically
+        self._order = 0
 
     @property
     def active(self) -> bool:
         return not self.triggered
+
+    @property
+    def remaining(self) -> float:
+        """Bytes left right now (interpolated from the anchor)."""
+        if self.rate <= 0.0:
+            return self._anchor_remaining
+        dt = self.network.sim.now - self._anchor_time
+        if dt <= 0.0:
+            return self._anchor_remaining
+        return max(0.0, self._anchor_remaining - dt * self.rate)
 
     @property
     def transferred(self) -> float:
@@ -141,11 +182,13 @@ class Flow(SimEvent):
         self.network._finish_flow(self, error=exc_type(f"flow {self.label}: {reason}"))
 
     def _sync_progress(self, now: float) -> None:
-        """Advance ``remaining`` for time elapsed at the current rate."""
-        dt = now - self._last_progress
+        """Re-anchor ``remaining`` at ``now`` (call only when the rate is
+        about to change, or at the flow's end — intermediate re-anchors
+        would perturb the float trajectory)."""
+        dt = now - self._anchor_time
         if dt > 0.0 and self.rate > 0.0:
-            self.remaining = max(0.0, self.remaining - dt * self.rate)
-        self._last_progress = now
+            self._anchor_remaining = max(0.0, self._anchor_remaining - dt * self.rate)
+        self._anchor_time = now
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -155,15 +198,28 @@ class Flow(SimEvent):
 
 
 class Network:
-    """Set of links plus the global max-min fair rate allocator."""
+    """Set of links plus the global max-min fair rate allocator.
 
-    def __init__(self, sim: Simulator, tracer: Tracer = NULL_TRACER):
+    ``allocator`` selects the reallocation strategy (see module
+    docstring): ``"incremental"`` (component-scoped, default) or
+    ``"reference"`` (global recompute, the bit-exactness oracle).
+    """
+
+    def __init__(self, sim: Simulator, tracer: Tracer = NULL_TRACER,
+                 allocator: str = "incremental"):
+        if allocator not in ALLOCATORS:
+            raise NetworkError(
+                f"unknown allocator {allocator!r}; expected one of {ALLOCATORS}"
+            )
         self.sim = sim
         self.tracer = tracer
+        self.allocator = allocator
         self._probe = probe_of(tracer)
         self.links: dict[str, Link] = {}
-        self._active: set[Flow] = set()
+        self._active: dict[Flow, None] = {}
         self._flow_seq = 0
+        self._admit_seq = 0
+        self._link_seq = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -171,7 +227,8 @@ class Network:
     def add_link(self, name: str, bandwidth: float, latency: float = 0.0) -> Link:
         if name in self.links:
             raise NetworkError(f"duplicate link name {name!r}")
-        link = Link(name, bandwidth, latency)
+        link = Link(name, bandwidth, latency, index=self._link_seq)
+        self._link_seq += 1
         self.links[name] = link
         return link
 
@@ -222,7 +279,7 @@ class Network:
             self.sim.now, "net.link.bandwidth", link=lk.name, bandwidth=bandwidth,
             degraded=lk.degraded,
         )
-        self._reallocate()
+        self._reallocate((lk,))
 
     # ------------------------------------------------------------------
     # flows
@@ -273,25 +330,27 @@ class Network:
         if flow.size <= 0.0:
             self._finish_flow(flow)
             return
-        flow._last_progress = self.sim.now
-        self._active.add(flow)
+        flow._anchor_time = self.sim.now
+        self._admit_seq += 1
+        flow._order = self._admit_seq
+        self._active[flow] = None
         for link in flow.path:
-            link.flows.add(flow)
-        self._reallocate()
+            link.flows[flow] = None
+        self._reallocate(flow.path)
 
     def _finish_flow(self, flow: Flow, error: BaseException | None = None) -> None:
         if flow in self._active:
             flow._sync_progress(self.sim.now)
-            self._active.discard(flow)
+            del self._active[flow]
             for link in flow.path:
-                link.flows.discard(flow)
+                link.flows.pop(flow, None)
         if flow._completion is not None:
             flow._completion.cancel()
             flow._completion = None
         flow.finished_at = self.sim.now
         flow.rate = 0.0
         if error is None:
-            flow.remaining = 0.0
+            flow._anchor_remaining = 0.0
             duration = self.sim.now - flow.started_at
             self.tracer.emit(
                 self.sim.now, "net.flow.done", label=flow.label, size=flow.size,
@@ -316,52 +375,115 @@ class Network:
                 help="Flows aborted in flight",
             )
             flow.fail(error)
-        self._reallocate()
+        self._reallocate(flow.path)
 
     # ------------------------------------------------------------------
     # max-min fair allocation (progressive filling)
     # ------------------------------------------------------------------
-    def _reallocate(self) -> None:
-        now = self.sim.now
-        for flow in self._active:
-            flow._sync_progress(now)
+    def _closure(self, dirty_links: Iterable[Link]) -> dict[Flow, None]:
+        """Flows whose rate can change: the transitive closure of the
+        dirty links' flows under link sharing (one connected component of
+        the flow/link bipartite graph per dirty link)."""
+        flows: dict[Flow, None] = {}
+        stack: list[Link] = []
+        seen_links: dict[Link, None] = {}
+        for lk in dirty_links:
+            if lk not in seen_links:
+                seen_links[lk] = None
+                stack.append(lk)
+        while stack:
+            lk = stack.pop()
+            for f in lk.flows:
+                if f in flows:
+                    continue
+                flows[f] = None
+                for other in f.path:
+                    if other not in seen_links:
+                        seen_links[other] = None
+                        stack.append(other)
+        return flows
 
-        # Progressive filling: repeatedly saturate the most constrained
-        # link, freezing its flows at the fair share.
-        unfrozen: set[Flow] = set(self._active)
-        residual = {lk: lk.bandwidth for lk in self.links.values()}
+    def _fill(self, flows: dict[Flow, None]) -> dict[Flow, float]:
+        """Progressive filling restricted to ``flows``.
+
+        ``flows`` must be closed under link sharing (every flow crossing
+        a link used by a member is itself a member), which both callers
+        guarantee; max-min fairness is then separable, so the restricted
+        solution equals the global one on these flows.
+        """
+        unfrozen = dict.fromkeys(flows)
+        residual: dict[Link, float] = {}
+        count: dict[Link, int] = {}
+        for f in unfrozen:
+            for lk in f.path:
+                if lk in count:
+                    count[lk] += 1
+                else:
+                    count[lk] = 1
+                    residual[lk] = lk.bandwidth
         rates: dict[Flow, float] = {}
         while unfrozen:
-            # most constrained link among those carrying unfrozen flows
-            best_link = None
+            # most constrained link among those carrying unfrozen flows;
+            # ties break on creation order so results are deterministic
+            best: Link | None = None
             best_share = math.inf
-            for link in self.links.values():
-                carrying = [f for f in link.flows if f in unfrozen]
-                if not carrying:
+            for lk, c in count.items():
+                if c <= 0:
                     continue
-                share = residual[link] / len(carrying)
-                if share < best_share:
+                share = residual[lk] / c
+                if share < best_share or (
+                    share == best_share and best is not None and lk.index < best.index
+                ):
                     best_share = share
-                    best_link = link
-            if best_link is None:
+                    best = lk
+            if best is None:  # pragma: no cover - every unfrozen flow carries
                 break
-            for f in [f for f in best_link.flows if f in unfrozen]:
+            for f in list(best.flows):
+                if f not in unfrozen:
+                    continue
                 rates[f] = best_share
-                unfrozen.discard(f)
-                for link in f.path:
-                    residual[link] = max(0.0, residual[link] - best_share)
+                del unfrozen[f]
+                for lk in f.path:
+                    r = residual[lk] - best_share
+                    residual[lk] = r if r > 0.0 else 0.0
+                    count[lk] -= 1
+        return rates
 
-        for flow in self._active:
-            flow.rate = rates.get(flow, 0.0)
-            if flow._completion is not None:
-                flow._completion.cancel()
-                flow._completion = None
-            if flow.rate > 0.0:
-                eta = flow.remaining / flow.rate
-                flow._completion = self.sim.schedule(eta, self._complete, flow)
+    def _reallocate(self, dirty_links: Iterable[Link]) -> None:
+        if self.allocator == "reference":
+            affected: dict[Flow, None] = self._active
+        else:
+            # admission order, matching the reference allocator's
+            # iteration over _active, so reschedules consume identical
+            # event-heap sequence numbers under both strategies
+            affected = dict.fromkeys(
+                sorted(self._closure(dirty_links), key=lambda f: f._order)
+            )
+        if affected:
+            rates = self._fill(affected)
+            now = self.sim.now
+            for flow in affected:
+                new_rate = rates.get(flow, 0.0)
+                if new_rate == flow.rate:
+                    # untouched: anchor and completion event stay valid
+                    continue
+                flow._sync_progress(now)
+                flow.rate = new_rate
+                if flow._completion is not None:
+                    flow._completion.cancel()
+                    flow._completion = None
+                if new_rate > 0.0:
+                    eta = flow._anchor_remaining / new_rate
+                    flow._completion = self.sim.schedule(eta, self._complete, flow)
 
         if self._probe.enabled:
-            for lk in self.links.values():
+            gauged: dict[Link, None] = {}
+            for lk in dirty_links:
+                gauged[lk] = None
+            for f in affected:
+                for lk in f.path:
+                    gauged[lk] = None
+            for lk in gauged:
                 self._probe.gauge_set(
                     "repro_link_utilization", lk.utilization,
                     help="Allocated fraction of link capacity (0..1)",
@@ -377,10 +499,11 @@ class Network:
         flow._completion = None
         flow._sync_progress(self.sim.now)
         # Guard against float drift: anything below one byte is done.
-        if flow.remaining <= 1.0 or math.isclose(flow.remaining, 0.0, abs_tol=1e-6):
+        remaining = flow._anchor_remaining
+        if remaining <= 1.0 or math.isclose(remaining, 0.0, abs_tol=1e-6):
             self._finish_flow(flow)
         else:  # pragma: no cover - defensive reschedule
-            self._reallocate()
+            self._reallocate(flow.path)
 
     # ------------------------------------------------------------------
     @property

@@ -85,6 +85,7 @@ class SwitchedTopology(ClusterTopology):
         latency: float = DEFAULT_LATENCY,
         core_bandwidth: float | None = None,
         tracer: Tracer = NULL_TRACER,
+        allocator: str = "incremental",
     ):
         if n_nodes < 1:
             raise NetworkError(f"need >= 1 node, got {n_nodes}")
@@ -92,7 +93,7 @@ class SwitchedTopology(ClusterTopology):
         self.n_nodes = n_nodes
         self.node_bandwidth = float(node_bandwidth)
         self.nas_bandwidth = float(nas_bandwidth)
-        self.network = Network(sim, tracer=tracer)
+        self.network = Network(sim, tracer=tracer, allocator=allocator)
         self.tx: list[Link] = []
         self.rx: list[Link] = []
         for i in range(n_nodes):
@@ -142,10 +143,18 @@ class SwitchedTopology(ClusterTopology):
         receiving terminate with a :class:`NetworkError` at the waiting
         process.  Returns the number of flows torn down."""
         self._check(node_id)
-        doomed = set(self.tx[node_id].flows) | set(self.rx[node_id].flows)
+        doomed = self._nic_flows(node_id)
         for flow in doomed:
             flow.abort(reason)
         return len(doomed)
+
+    def _nic_flows(self, node_id: int) -> list[Flow]:
+        """Flows crossing either NIC direction, in deterministic
+        (admission) order — tear-down order affects event ordering, so it
+        must not depend on set iteration."""
+        doomed = dict.fromkeys(self.tx[node_id].flows)
+        doomed.update(dict.fromkeys(self.rx[node_id].flows))
+        return list(doomed)
 
     # ------------------------------------------------------------------
     # transient-fault surface (driven by repro.resilience.faults)
@@ -179,7 +188,7 @@ class SwitchedTopology(ClusterTopology):
         :class:`TransientNetworkError`; an immediate retry can succeed.
         Returns the number of flows dropped."""
         self._check(node_id)
-        doomed = set(self.tx[node_id].flows) | set(self.rx[node_id].flows)
+        doomed = self._nic_flows(node_id)
         for flow in doomed:
             flow.abort(reason, transient=True)
         return len(doomed)

@@ -1,0 +1,28 @@
+"""Performance harness: scale scenarios, digests, regression checks.
+
+``repro.perf`` owns the thousand-node scaling story: a canonical DVDC
+scale scenario (:func:`~repro.perf.scale.run_scale_point`), bit-exact
+run digests used by the differential/golden tests, the cancel-heavy
+event-heap microbenchmark, and the ``BENCH_scale.json`` baseline
+comparison behind ``repro bench scale`` and the perf-regression CI job.
+"""
+
+from .scale import (
+    ScaleConfig,
+    build_scale_scenario,
+    compare_to_baseline,
+    generate_bench,
+    heap_cancel_bench,
+    run_scale_point,
+    scenario_digests,
+)
+
+__all__ = [
+    "ScaleConfig",
+    "build_scale_scenario",
+    "compare_to_baseline",
+    "generate_bench",
+    "heap_cancel_bench",
+    "run_scale_point",
+    "scenario_digests",
+]

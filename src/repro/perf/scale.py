@@ -1,0 +1,426 @@
+"""The canonical DVDC scale scenario and its measurement harness.
+
+One scenario, three consumers:
+
+* ``benchmarks/bench_scale.py`` times it at 64/256/1024 nodes and writes
+  ``BENCH_scale.json``;
+* ``tests/test_golden_determinism.py`` digests a small instance and pins
+  the digests against ``tests/golden/``;
+* ``repro bench scale`` runs it from the CLI and gates PRs against the
+  recorded baseline.
+
+The scenario is a 4-VMs-per-node DVDC cluster running incremental
+checkpoint epochs: each epoch every VM dirties a few pages from its own
+named RNG stream, then one coordinated cycle captures deltas, exchanges
+them to parity nodes, folds parity, and commits.  Every knob that the
+perf work touches (fluid-flow allocator, COW snapshots, buffer pool) is
+a parameter, so the same function measures the optimized and reference
+paths and *proves them bit-identical* via :func:`scenario_digests`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import resource
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..checkpoint.strategies import IncrementalCapture
+from ..cluster import memory
+from ..cluster.cluster import ClusterSpec, VirtualCluster
+from ..core.architectures import dvdc
+from ..sim import Simulator, Tracer, NULL_TRACER
+from ..sim.rng import RngRegistry
+
+__all__ = [
+    "ScaleConfig",
+    "build_scale_scenario",
+    "run_scale_point",
+    "scenario_digests",
+    "heap_cancel_bench",
+    "generate_bench",
+    "compare_to_baseline",
+]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Parameters of one scale-scenario run."""
+
+    n_nodes: int
+    vms_per_node: int = 4
+    group_size: int = 4
+    epochs: int = 3
+    seed: int = 0
+    allocator: str = "incremental"
+    cow: bool = True
+    image_pages: int = 16
+    page_size: int = 64
+    dirty_pages_per_vm: int = 4
+    trace: bool = False
+
+    @property
+    def n_vms(self) -> int:
+        return self.n_nodes * self.vms_per_node
+
+
+def build_scale_scenario(cfg: ScaleConfig, tracer: Tracer | None = None):
+    """Construct (sim, cluster, checkpointer, rngs, tracer) for ``cfg``.
+
+    ``tracer`` overrides the default (``Tracer()`` when ``cfg.trace``,
+    else the null tracer) — the golden tests pass a telemetry ``Probe``
+    here to export span timelines of the exact same scenario.
+    """
+    sim = Simulator()
+    if tracer is None:
+        tracer = Tracer() if cfg.trace else NULL_TRACER
+    spec = ClusterSpec(n_nodes=cfg.n_nodes, allocator=cfg.allocator)
+    rngs = RngRegistry(cfg.seed)
+    old_cow = memory.DEFAULT_COW
+    memory.DEFAULT_COW = cfg.cow
+    try:
+        cluster = VirtualCluster(sim, spec, tracer=tracer)
+        init = rngs.stream("image-init")
+        for i in range(cfg.n_vms):
+            vm = cluster.create_vm(
+                i % cfg.n_nodes, 1e9, dirty_rate=2e5,
+                image_pages=cfg.image_pages, page_size=cfg.page_size,
+            )
+            fill = min(512, vm.image.nbytes)
+            vm.image.write(0, init.integers(0, 256, fill, dtype=np.uint8))
+            vm.image.clear_dirty()
+    finally:
+        memory.DEFAULT_COW = old_cow
+    ckpt = dvdc(
+        cluster, group_size=cfg.group_size, strategy=IncrementalCapture(),
+        tracer=tracer,
+    )
+    return sim, cluster, ckpt, rngs, tracer
+
+
+def _dirty_epoch(cluster, rngs: RngRegistry, cfg: ScaleConfig) -> None:
+    for vm in cluster.all_vms:
+        rng = rngs.stream(f"dirty/vm{vm.vm_id}")
+        idx = rng.integers(0, cfg.image_pages, size=cfg.dirty_pages_per_vm)
+        vm.image.touch_pages(idx, rng)
+
+
+def run_scale_point(
+    cfg: ScaleConfig,
+    max_wall: float | None = None,
+    collect_digests: bool = False,
+) -> dict:
+    """Run the scenario and measure it.
+
+    ``max_wall`` caps wall-clock seconds: the run stops mid-epoch once
+    exceeded (``aborted: True``) but still reports events/sec over the
+    events it did execute — how the intractably slow reference allocator
+    is measured at 1024 nodes.  Construction/teardown are excluded from
+    the timed window.
+    """
+    sim, cluster, ckpt, rngs, tracer = build_scale_scenario(cfg)
+    epochs_done = 0
+    aborted = False
+    t0 = time.perf_counter()
+    deadline = None if max_wall is None else t0 + max_wall
+    for _ in range(cfg.epochs):
+        _dirty_epoch(cluster, rngs, cfg)
+        proc = sim.process(ckpt.run_cycle())
+        if deadline is None:
+            sim.run()
+        else:
+            steps = 0
+            while sim.step():
+                steps += 1
+                if steps % 256 == 0 and time.perf_counter() > deadline:
+                    aborted = True
+                    break
+        if aborted:
+            break
+        if proc.ok is False:
+            raise proc.value
+        epochs_done += 1
+    wall = time.perf_counter() - t0
+    events = sim.event_count
+    result = {
+        "n_nodes": cfg.n_nodes,
+        "n_vms": cfg.n_vms,
+        "allocator": cfg.allocator,
+        "cow": cfg.cow,
+        "epochs_requested": cfg.epochs,
+        "epochs_completed": epochs_done,
+        "aborted": aborted,
+        "events": events,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "epochs_per_sec": epochs_done / wall if (wall > 0 and not aborted) else None,
+        "sim_time": sim.now,
+        "heap_compactions": sim.compactions,
+        # Linux ru_maxrss is KiB; process high-water mark, so across
+        # several points in one process it only grows — warn-only metric
+        "peak_rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+    }
+    if collect_digests and not aborted:
+        result["digests"] = scenario_digests(sim, cluster, ckpt, rngs, tracer)
+    return result
+
+
+# ----------------------------------------------------------------------
+# bit-exactness digests
+# ----------------------------------------------------------------------
+def _hash() -> "hashlib._Hash":
+    return hashlib.sha256()
+
+
+def scenario_digests(sim, cluster, ckpt, rngs: RngRegistry | None = None,
+                     tracer: Tracer | None = None) -> dict[str, str]:
+    """SHA-256 digests of everything the perf work must not change.
+
+    Keys: ``checkpoints`` (committed payload bytes), ``parity`` (parity
+    block bytes + checksums), ``flows`` (completion times from the trace,
+    when tracing was on), ``cycles`` (per-epoch latency/overhead floats),
+    ``clock`` (final sim time + event count), ``rng`` (bit-generator
+    states of every named stream).  Floats are hashed via ``float.hex``
+    so the digests are exact, not round-trip-formatted.
+    """
+    out: dict[str, str] = {}
+
+    h = _hash()
+    for node in cluster.nodes:
+        for vm_id in sorted(node.checkpoint_store):
+            img = node.checkpoint_store[vm_id]
+            h.update(f"ckpt {vm_id} {img.epoch} {img.kind.value}|".encode())
+            if isinstance(img.payload, np.ndarray):
+                h.update(img.payload.tobytes())
+    out["checkpoints"] = h.hexdigest()
+
+    h = _hash()
+    for node in cluster.nodes:
+        for group_id in sorted(node.parity_store):
+            blk = node.parity_store[group_id]
+            h.update(
+                f"parity {group_id} {blk.epoch} {blk.checksum} "
+                f"{sorted(blk.member_checksums.items())}|".encode()
+            )
+            if blk.data is not None:
+                h.update(blk.data.tobytes())
+    out["parity"] = h.hexdigest()
+
+    if tracer is not None and tracer.records:
+        h = _hash()
+        for r in tracer.select(prefix="net.flow."):
+            h.update(f"{r.kind} {r.time.hex()} {sorted(r.data.items())}|".encode())
+        out["flows"] = h.hexdigest()
+
+    h = _hash()
+    for res in ckpt.history:
+        h.update(
+            f"cycle {res.epoch} {res.committed} {res.latency.hex()} "
+            f"{res.overhead.hex()} {float(res.network_bytes).hex()}|".encode()
+        )
+    out["cycles"] = h.hexdigest()
+
+    h = _hash()
+    h.update(f"{sim.now.hex()} {sim.event_count}".encode())
+    out["clock"] = h.hexdigest()
+
+    if rngs is not None:
+        h = _hash()
+        state = rngs.__getstate__()
+        h.update(json.dumps(state, sort_keys=True, default=str).encode())
+        out["rng"] = h.hexdigest()
+    return out
+
+
+# ----------------------------------------------------------------------
+# event-heap microbenchmark
+# ----------------------------------------------------------------------
+def heap_cancel_bench(n_events: int, cancel_fraction: float = 0.9,
+                      seed: int = 0) -> dict:
+    """Cancel-heavy schedule against one :class:`Simulator` heap.
+
+    Emulates the fuzzer/allocator pattern — schedule, cancel most,
+    reschedule — and reports wall time, peak heap size, and compaction
+    count.  With lazy-deletion compaction the peak heap stays within a
+    constant factor of the *live* event count, keeping each operation
+    O(log live); without it the heap grows with total cancellations.
+    """
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    live: list = []
+    peak_heap = 0
+    executed = 0
+    t0 = time.perf_counter()
+    delays = rng.random(n_events)
+    cancels = rng.random(n_events) < cancel_fraction
+    for i in range(n_events):
+        h = sim.schedule(float(delays[i]), _noop)
+        if cancels[i]:
+            h.cancel()
+        else:
+            live.append(h)
+        if len(live) >= 64:
+            # drain a batch so the live set stays bounded, like a real run
+            sim.run(max_events=32)
+            executed += 32
+            live = [x for x in live if not x.fired]
+        peak_heap = max(peak_heap, sim.heap_size)
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "n_events": n_events,
+        "cancel_fraction": cancel_fraction,
+        "wall_seconds": wall,
+        "ops_per_sec": n_events / wall if wall > 0 else 0.0,
+        "peak_heap": peak_heap,
+        "compactions": sim.compactions,
+        "executed": sim.event_count,
+    }
+
+
+def _noop() -> None:
+    pass
+
+
+# ----------------------------------------------------------------------
+# BENCH_scale.json generation
+# ----------------------------------------------------------------------
+#: Node counts of the full sweep (the paper-scale story ends at 1024
+#: nodes / 4096 VMs); --quick runs only the first for PR gating.
+FULL_NODES = (64, 256, 1024)
+QUICK_NODES = (64,)
+#: Above this size the reference allocator cannot finish an epoch in
+#: reasonable time; it is measured events/sec over a capped window and
+#: epoch throughput is derived (both allocators execute bit-identical
+#: event streams, so events/epoch transfers exactly).
+REF_FULL_MAX_NODES = 64
+REF_WALL_CAP = 20.0
+
+
+def generate_bench(quick: bool = False, epochs: int = 3,
+                   ref_cap: float = REF_WALL_CAP,
+                   log=lambda msg: None) -> dict:
+    """Run the scale sweep and return the ``BENCH_scale.json`` payload.
+
+    Every generation starts with a differential run at 64 nodes proving
+    the optimized paths bit-identical to the reference allocator (and COW
+    to plain copies) — a bench whose numbers describe a *wrong* simulator
+    would be worse than no bench.
+    """
+    nodes = QUICK_NODES if quick else FULL_NODES
+    log("differential check at 64 nodes (incremental vs reference, COW vs copy)")
+    diff_cfg = ScaleConfig(n_nodes=64, epochs=2, trace=True)
+    digests = {
+        "incremental": run_scale_point(diff_cfg, collect_digests=True)["digests"],
+        "reference": run_scale_point(
+            ScaleConfig(n_nodes=64, epochs=2, allocator="reference", trace=True),
+            collect_digests=True,
+        )["digests"],
+        "no_cow": run_scale_point(
+            ScaleConfig(n_nodes=64, epochs=2, cow=False, trace=True),
+            collect_digests=True,
+        )["digests"],
+    }
+    if not (digests["incremental"] == digests["reference"] == digests["no_cow"]):
+        raise RuntimeError(
+            f"differential check failed — optimized paths are not "
+            f"bit-identical: {digests}"
+        )
+    points = []
+    for n in nodes:
+        log(f"{n} nodes: incremental allocator, {epochs} epochs")
+        inc = run_scale_point(ScaleConfig(n_nodes=n, epochs=epochs))
+        cap = None if n <= REF_FULL_MAX_NODES else ref_cap
+        log(f"{n} nodes: reference allocator"
+            + (f" (capped at {cap:.0f}s wall)" if cap else ""))
+        ref = run_scale_point(
+            ScaleConfig(n_nodes=n, epochs=epochs, allocator="reference"),
+            max_wall=cap,
+        )
+        events_per_epoch = inc["events"] / max(inc["epochs_completed"], 1)
+        ref_epochs_per_sec = (
+            ref["epochs_per_sec"]
+            if ref["epochs_per_sec"]
+            else ref["events_per_sec"] / events_per_epoch
+        )
+        speedup = (
+            inc["events_per_sec"] / ref["events_per_sec"]
+            if ref["events_per_sec"]
+            else None
+        )
+        points.append({
+            "n_nodes": n,
+            "n_vms": inc["n_vms"],
+            "epochs": inc["epochs_completed"],
+            "events": inc["events"],
+            "events_per_sec": inc["events_per_sec"],
+            "epochs_per_sec": inc["epochs_per_sec"],
+            "peak_rss_bytes": inc["peak_rss_bytes"],
+            "heap_compactions": inc["heap_compactions"],
+            "reference_events_per_sec": ref["events_per_sec"],
+            "reference_epochs_per_sec": ref_epochs_per_sec,
+            "reference_capped": bool(ref["aborted"]),
+            "speedup_vs_reference": speedup,
+        })
+    log("event-heap cancel-heavy microbenchmark")
+    heap = heap_cancel_bench(200_000 if not quick else 50_000)
+    return {
+        "bench": "scale",
+        "quick": quick,
+        "config": {
+            "vms_per_node": 4, "group_size": 4, "epochs": epochs, "seed": 0,
+            "image_pages": 16, "page_size": 64, "dirty_pages_per_vm": 4,
+        },
+        "differential_digests_identical": True,
+        "points": points,
+        "heap_bench": heap,
+    }
+
+
+# ----------------------------------------------------------------------
+# baseline comparison (the CI regression gate)
+# ----------------------------------------------------------------------
+def compare_to_baseline(current: dict, baseline: dict,
+                        tolerance: float = 0.20) -> tuple[list[str], list[str]]:
+    """Compare a fresh bench result against a recorded baseline.
+
+    Returns ``(failures, warnings)``.  The *hard* gate is hardware
+    independent: the incremental-vs-reference speedup ratio at each
+    common node count must not regress by more than ``tolerance``.
+    Absolute throughput and RSS vary with the host, so they only warn.
+    """
+    failures: list[str] = []
+    warnings: list[str] = []
+    base_points = {p["n_nodes"]: p for p in baseline.get("points", [])}
+    for point in current.get("points", []):
+        n = point["n_nodes"]
+        base = base_points.get(n)
+        if base is None:
+            continue
+        cur_ratio = point.get("speedup_vs_reference")
+        base_ratio = base.get("speedup_vs_reference")
+        if cur_ratio and base_ratio:
+            if cur_ratio < base_ratio * (1.0 - tolerance):
+                failures.append(
+                    f"{n} nodes: incremental/reference speedup regressed "
+                    f"{base_ratio:.1f}x -> {cur_ratio:.1f}x "
+                    f"(tolerance {tolerance:.0%})"
+                )
+        cur_eps = point.get("events_per_sec")
+        base_eps = base.get("events_per_sec")
+        if cur_eps and base_eps and cur_eps < base_eps * (1.0 - tolerance):
+            warnings.append(
+                f"{n} nodes: absolute throughput {base_eps:,.0f} -> "
+                f"{cur_eps:,.0f} events/s (host-dependent; warn only)"
+            )
+        cur_rss = point.get("peak_rss_bytes")
+        base_rss = base.get("peak_rss_bytes")
+        if cur_rss and base_rss and cur_rss > base_rss * (1.0 + tolerance):
+            warnings.append(
+                f"{n} nodes: peak RSS {base_rss / 1e6:.0f}MB -> "
+                f"{cur_rss / 1e6:.0f}MB (noisy; warn only)"
+            )
+    return failures, warnings

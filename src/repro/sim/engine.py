@@ -65,19 +65,25 @@ class EventHandle:
     treat them as opaque except for :meth:`cancel` and :attr:`time`.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "fired")
+    __slots__ = ("time", "fn", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple,
+                 sim: "Simulator | None" = None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent; a no-op if the
         event already fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
 
     @property
     def pending(self) -> bool:
@@ -105,12 +111,21 @@ class Simulator:
     scheduling is side-effect free.  All times are floats in seconds.
     """
 
+    #: Lazy-deletion compaction: cancelled entries stay buried in the heap
+    #: until at least this many have accumulated *and* they make up half
+    #: the heap; then one O(n) rebuild evicts them all.  Amortized, every
+    #: heap operation stays O(log live) even under cancel-heavy schedules
+    #: (the flow allocator cancels/reschedules completions constantly).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start: float = 0.0, probe: Any = None):
         self._now = float(start)
         self._heap: list[_HeapEntry] = []
         self._seq = itertools.count()
         self._running = False
         self._event_count = 0
+        self._cancelled = 0
+        self._compactions = 0
         self._probe = probe
 
     # ------------------------------------------------------------------
@@ -142,6 +157,42 @@ class Simulator:
     def event_count(self) -> int:
         """Number of callbacks executed so far (for tests/diagnostics)."""
         return self._event_count
+
+    @property
+    def heap_size(self) -> int:
+        """Entries currently in the heap, including lazily-deleted ones."""
+        return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still buried in the heap."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Heap rebuilds performed to evict cancelled entries."""
+        return self._compactions
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Entries are totally ordered by ``(time, priority, seq)``, so the
+        re-heapified subset pops in exactly the order the original heap
+        would have delivered it — compaction never changes execution
+        order, only memory and pop cost.
+        """
+        self._heap = [e for e in self._heap if not e.handle.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # scheduling
@@ -175,7 +226,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6g} before now={self._now:.6g}"
             )
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, self)
         heapq.heappush(self._heap, _HeapEntry(time, priority, next(self._seq), handle))
         return handle
 
@@ -191,6 +242,7 @@ class Simulator:
             entry = heapq.heappop(self._heap)
             handle = entry.handle
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = entry.time
             handle.fired = True
@@ -218,6 +270,7 @@ class Simulator:
                 entry = self._heap[0]
                 if entry.handle.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled -= 1
                     continue
                 if entry.time > until:
                     self._now = until
@@ -247,16 +300,21 @@ class Simulator:
         """Time of the next pending event, or ``inf`` if none."""
         while self._heap and self._heap[0].handle.cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else math.inf
 
     def drain(self) -> int:
         """Cancel every pending event; returns how many were cancelled."""
         n = 0
         for entry in self._heap:
-            if not entry.handle.cancelled and not entry.handle.fired:
-                entry.handle.cancel()
+            handle = entry.handle
+            if not handle.cancelled and not handle.fired:
+                # set directly: the entries leave the heap wholesale below,
+                # so routing through cancel()'s compaction logic is waste
+                handle.cancelled = True
                 n += 1
         self._heap.clear()
+        self._cancelled = 0
         return n
 
     # ------------------------------------------------------------------

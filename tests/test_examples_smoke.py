@@ -9,6 +9,8 @@ import runpy
 import sys
 from pathlib import Path
 
+import pytest
+
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -55,6 +57,7 @@ class TestExamples:
         assert "PASS: resume served 16/16 tasks" in out
         assert "rebuilt from the result store" in out
 
+    @pytest.mark.slow
     def test_hpc_job_survival_small(self, capsys):
         out = _run(
             "hpc_job_survival.py",

@@ -1,0 +1,148 @@
+"""Golden-trace determinism: the optimized hot paths change *nothing*.
+
+A fixed 64-node DVDC scale scenario (2 incremental-checkpoint epochs,
+seed 0 — see :mod:`repro.perf.scale`) is digested and pinned in
+``tests/golden/scale64.json``: committed checkpoints, parity blocks +
+checksums, flow-completion trace, per-cycle latencies, final sim clock,
+RNG bit-generator states, and the SHA-256 of the Chrome-trace export.
+
+The tests prove the digests are byte-stable across
+
+* the incremental vs reference fluid-flow allocator,
+* COW snapshots vs plain full copies,
+* campaign execution with ``--jobs 1`` vs ``--jobs 4``,
+
+and that all of them equal the pinned golden values, so any perf change
+that perturbs a checkpoint byte, a parity bit, a completion time, or an
+RNG draw fails here with the exact digest that moved.
+
+Regenerate the golden file after an *intentional* behavior change with::
+
+    PYTHONPATH=src python tests/test_golden_determinism.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf import ScaleConfig, build_scale_scenario, run_scale_point
+from repro.perf.scale import _dirty_epoch, scenario_digests
+from repro.telemetry import Probe
+from repro.telemetry.export import chrome_trace
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scale64.json"
+#: The pinned scenario.  Changing any field invalidates the golden file.
+GOLDEN_CFG = dict(n_nodes=64, epochs=2, seed=0)
+
+
+def _golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _run_digests(allocator: str = "incremental", cow: bool = True) -> dict:
+    cfg = ScaleConfig(**GOLDEN_CFG, allocator=allocator, cow=cow, trace=True)
+    return run_scale_point(cfg, collect_digests=True)
+
+
+def _chrome_trace_bytes() -> bytes:
+    """The Chrome-trace export of the golden scenario, sim-clock, as the
+    exact bytes ``write_chrome_trace`` would put on disk."""
+    cfg = ScaleConfig(**GOLDEN_CFG, trace=True)
+    probe = Probe()
+    sim, cluster, ckpt, rngs, _ = build_scale_scenario(cfg, tracer=probe)
+    for _ in range(cfg.epochs):
+        _dirty_epoch(cluster, rngs, cfg)
+        proc = sim.process(ckpt.run_cycle())
+        sim.run()
+        assert proc.ok
+    doc = chrome_trace(probe.spans, clock="sim")
+    return (json.dumps(doc, indent=1) + "\n").encode("utf-8")
+
+
+def _generate_golden() -> dict:
+    result = _run_digests()
+    return {
+        "_regen": "PYTHONPATH=src python tests/test_golden_determinism.py --regen",
+        "config": GOLDEN_CFG,
+        "events": result["events"],
+        "sim_time": result["sim_time"].hex(),
+        "digests": result["digests"],
+        "chrome_trace_sha256": hashlib.sha256(_chrome_trace_bytes()).hexdigest(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pinned digests
+# ---------------------------------------------------------------------------
+def test_golden_file_matches_config():
+    assert _golden()["config"] == GOLDEN_CFG
+
+
+def test_incremental_run_matches_golden():
+    golden = _golden()
+    result = _run_digests()
+    assert result["events"] == golden["events"]
+    assert result["sim_time"].hex() == golden["sim_time"]
+    assert result["digests"] == golden["digests"]
+
+
+@pytest.mark.parametrize(
+    "allocator,cow",
+    [("reference", True), ("incremental", False), ("reference", False)],
+    ids=["reference", "no-cow", "reference-no-cow"],
+)
+def test_optimization_paths_match_golden(allocator, cow):
+    """Every combination of the perf knobs reproduces the pinned run."""
+    golden = _golden()
+    result = _run_digests(allocator=allocator, cow=cow)
+    assert result["events"] == golden["events"]
+    assert result["digests"] == golden["digests"]
+
+
+def test_chrome_trace_byte_stable_and_pinned():
+    a = _chrome_trace_bytes()
+    b = _chrome_trace_bytes()
+    assert a == b, "chrome trace export must be byte-identical run to run"
+    assert hashlib.sha256(a).hexdigest() == _golden()["chrome_trace_sha256"]
+
+
+# ---------------------------------------------------------------------------
+# campaign --jobs byte-stability
+# ---------------------------------------------------------------------------
+def _campaign_digests(jobs: int) -> list[dict]:
+    from repro.campaign import CampaignRunner, Task
+
+    tasks = [
+        Task(kind="scale_digests",
+             params={**GOLDEN_CFG, "allocator": alloc, "cow": cow})
+        for alloc, cow in [
+            ("incremental", True), ("reference", True), ("incremental", False),
+        ]
+    ]
+    result = CampaignRunner(jobs=jobs).run(tasks)
+    assert result.n_failed == 0, [r.error for r in result.failures()]
+    return [run.value for run in result.runs]
+
+
+def test_campaign_jobs_1_vs_4_byte_stable():
+    """Worker fan-out must not perturb a single bit of the scenario."""
+    golden = _golden()
+    serial = _campaign_digests(jobs=1)
+    parallel = _campaign_digests(jobs=4)
+    assert serial == parallel
+    for value in serial:
+        assert value["digests"] == golden["digests"]
+        assert value["sim_time"] == golden["sim_time"]
+
+
+if __name__ == "__main__":
+    if "--regen" not in sys.argv:
+        sys.exit("usage: python tests/test_golden_determinism.py --regen")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(_generate_golden(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

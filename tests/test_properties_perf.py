@@ -1,0 +1,423 @@
+"""Property tests for the perf-critical primitives.
+
+Seeded (RngRegistry-driven) randomized laws for the pieces the scale
+work leans on hardest:
+
+* xorsum algebra — associativity/commutativity, self-inverse, padded
+  round-trips, and ``out=``-buffer equivalence;
+* fluid-flow conservation — under random flap/abort/degrade schedules,
+  delivered bytes match flow sizes, links never leak flows, and the
+  incremental allocator's per-flow trajectory is bit-identical to the
+  reference allocator's;
+* ``MemoryImage.touch_pages`` accounting — ``dirty_bytes`` counts
+  *unique* pages (the double-count regression) while RNG consumption
+  stays keyed to the raw index list;
+* BufferPool lifetime rules — refcount gate, view/dtype rejection, caps;
+* event-heap lazy-deletion compaction — bounded heap, preserved
+  execution order, counter hygiene across peek/drain;
+* COW snapshots — bit-identical to plain copies, and recycling can never
+  corrupt a buffer the caller still holds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cluster.bufpool import BufferPool
+from repro.cluster.memory import MemoryImage
+from repro.cluster.xorsum import (
+    reconstruct_missing_padded,
+    xor_into,
+    xor_reduce,
+    xor_reduce_padded,
+)
+from repro.network.topology import SwitchedTopology
+from repro.sim import RngRegistry, Simulator
+
+
+# ---------------------------------------------------------------------------
+# xorsum algebra
+# ---------------------------------------------------------------------------
+def _buffers(rng, k: int, n: int) -> list[np.ndarray]:
+    return [rng.integers(0, 256, size=n, dtype=np.uint8) for _ in range(k)]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_xor_reduce_order_independent(rngs: RngRegistry, seed: int):
+    rng = rngs.stream(f"assoc/{seed}")
+    bufs = _buffers(rng, k=int(rng.integers(2, 7)), n=int(rng.integers(1, 512)))
+    expected = xor_reduce(bufs)
+    perm = rng.permutation(len(bufs))
+    assert np.array_equal(xor_reduce([bufs[i] for i in perm]), expected)
+    # fold pairwise via xor_into: same result as one-shot reduce
+    acc = bufs[0].copy()
+    for b in bufs[1:]:
+        xor_into(acc, b)
+    assert np.array_equal(acc, expected)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_xor_self_inverse(rngs: RngRegistry, seed: int):
+    rng = rngs.stream(f"inverse/{seed}")
+    n = int(rng.integers(1, 1024))
+    a = rng.integers(0, 256, size=n, dtype=np.uint8)
+    b = rng.integers(0, 256, size=n, dtype=np.uint8)
+    x = a.copy()
+    xor_into(x, b)
+    xor_into(x, b)
+    assert np.array_equal(x, a)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_padded_round_trip(rngs: RngRegistry, seed: int):
+    """Any member of a heterogeneous padded group is recoverable, and the
+    zero-padding semantics are exactly pad-then-truncate."""
+    rng = rngs.stream(f"padded/{seed}")
+    k = int(rng.integers(2, 6))
+    lengths = [int(rng.integers(1, 300)) for _ in range(k)]
+    bufs = [rng.integers(0, 256, size=n, dtype=np.uint8) for n in lengths]
+    parity = xor_reduce_padded(bufs)
+    longest = max(lengths)
+    # parity equals the equal-length reduce over zero-padded members
+    padded = [np.pad(b, (0, longest - len(b))) for b in bufs]
+    assert np.array_equal(parity, xor_reduce(padded))
+    for missing in range(k):
+        survivors = [b for i, b in enumerate(bufs) if i != missing]
+        got = reconstruct_missing_padded(survivors, parity, lengths[missing])
+        assert np.array_equal(got, bufs[missing])
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_xor_reduce_padded_out_buffer_equivalence(rngs: RngRegistry, seed: int):
+    """``out=`` lands the same bytes; an exact-length out is returned
+    as-is (identity) so pooled callers can recycle it afterwards."""
+    rng = rngs.stream(f"outbuf/{seed}")
+    bufs = [rng.integers(0, 256, size=int(n), dtype=np.uint8)
+            for n in rng.integers(1, 200, size=4)]
+    longest = max(b.shape[0] for b in bufs)
+    expected = xor_reduce_padded(bufs)
+    exact = np.full(longest, 0xAA, dtype=np.uint8)
+    got = xor_reduce_padded(bufs, out=exact)
+    assert got is exact
+    assert np.array_equal(got, expected)
+    oversized = np.full(longest + 17, 0xAA, dtype=np.uint8)
+    got = xor_reduce_padded(bufs, out=oversized)
+    assert np.array_equal(got, expected)
+    assert np.all(oversized[longest:] == 0xAA), "bytes past the result untouched"
+    with pytest.raises(ValueError):
+        xor_reduce_padded(bufs, out=np.zeros(longest - 1, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        xor_reduce_padded(bufs, out=np.zeros(longest, dtype=np.uint16))
+
+
+# ---------------------------------------------------------------------------
+# flow conservation under random fault schedules
+# ---------------------------------------------------------------------------
+def _run_flow_schedule(allocator: str, seed: int):
+    """Drive a random flow + fault schedule; returns per-flow records.
+
+    The schedule (flows, flaps, drops, degradations) is derived from the
+    seed *before* running, so both allocators see the same stimulus.
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("flow-schedule")
+    sim = Simulator()
+    n_nodes = 6
+    topo = SwitchedTopology(sim, n_nodes, allocator=allocator)
+    flows = []
+
+    def start(src, dst, size, label):
+        flows.append(topo.transfer(src, dst, size, label=label))
+
+    def start_nas(src, size, label):
+        flows.append(topo.transfer_to_nas(src, size, label=label))
+
+    n_flows = 40
+    for i in range(n_flows):
+        t = float(rng.uniform(0.0, 2.0))
+        size = float(rng.integers(1, 50)) * 1e6
+        src = int(rng.integers(0, n_nodes))
+        if rng.random() < 0.3:
+            sim.at(t, start_nas, src, size, f"nas{i}")
+        else:
+            dst = int(rng.integers(0, n_nodes))
+            sim.at(t, start, src, dst, size, f"f{i}")
+    for j in range(10):
+        t = float(rng.uniform(0.1, 2.5))
+        node = int(rng.integers(0, n_nodes))
+        kind = rng.random()
+        if kind < 0.4:  # flap down, back up shortly after
+            sim.at(t, topo.set_node_links_up, node, False)
+            sim.at(t + float(rng.uniform(0.05, 0.5)),
+                   topo.set_node_links_up, node, True)
+        elif kind < 0.7:  # lossy blip
+            sim.at(t, topo.drop_node_flows, node)
+        else:  # straggler NIC, later restored
+            factor = float(rng.uniform(0.25, 0.9))
+            sim.at(t, topo.scale_node_bandwidth, node, factor)
+            sim.at(t + float(rng.uniform(0.2, 1.0)),
+                   topo.scale_node_bandwidth, node, 1.0)
+    sim.run()
+    records = [
+        (f.label, f.ok, float(f.started_at), float(f.finished_at),
+         float(f.size), float(f.transferred))
+        for f in flows
+    ]
+    leaked = [lk.name for lk in topo.network.links.values() if lk.flows]
+    return records, leaked, sim.event_count
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_flow_conservation_under_faults(seed: int):
+    records, leaked, _ = _run_flow_schedule("incremental", seed)
+    assert not leaked, f"links leaked flows: {leaked}"
+    assert len(records) == 40 and all(r[3] is not None for r in records)
+    delivered = sum(1 for r in records if r[1])
+    assert delivered > 0, "schedule should deliver at least some flows"
+    for label, ok, started, finished, size, transferred in records:
+        assert finished >= started
+        if ok:
+            assert transferred == size, f"{label} delivered {transferred}/{size}"
+        else:
+            assert 0.0 <= transferred <= size + 1e-6
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_incremental_allocator_bit_identical_to_reference(seed: int):
+    """Same schedule, both allocators: every flow's outcome, timestamps,
+    and delivered-byte trajectory must match exactly (not approximately)."""
+    inc, inc_leaked, inc_events = _run_flow_schedule("incremental", seed)
+    ref, ref_leaked, ref_events = _run_flow_schedule("reference", seed)
+    assert inc == ref
+    assert inc_leaked == ref_leaked == []
+    assert inc_events == ref_events
+
+
+# ---------------------------------------------------------------------------
+# touch_pages accounting (the double-count regression)
+# ---------------------------------------------------------------------------
+def test_touch_pages_duplicates_count_once(rng):
+    img = MemoryImage(n_pages=16, page_size=64)
+    img.touch_pages(np.array([3, 3, 3, 7]))
+    assert img.dirty_page_count == 2
+    assert img.dirty_bytes == 2 * 64
+    # re-touching already-dirty pages within the interval adds nothing
+    img.touch_pages(np.array([7, 7, 9]), rng)
+    assert img.dirty_page_count == 3
+    assert img.dirty_bytes == 3 * 64
+    assert sorted(img.dirty_page_indices) == [3, 7, 9]
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_touch_pages_accounting_invariant(rngs: RngRegistry, seed: int):
+    """After any touch/clear/delta sequence, the cached dirty count equals
+    the bitmap's ground truth — dirty_bytes == unique dirty pages x page
+    size, never the double-counted sum."""
+    rng = rngs.stream(f"touch/{seed}")
+    img = MemoryImage(n_pages=32, page_size=128)
+    for _ in range(30):
+        op = rng.random()
+        if op < 0.6:
+            k = int(rng.integers(1, 12))
+            idx = rng.integers(0, 32, size=k)  # duplicates likely
+            img.touch_pages(idx, rng)
+        elif op < 0.8 and img.dirty_page_count:
+            img.apply_delta(img.capture_delta(clear=True))
+        else:
+            img.clear_dirty()
+        truth = len(img.dirty_page_indices)
+        assert img.dirty_page_count == truth
+        assert img.dirty_bytes == truth * img.page_size
+
+
+def test_touch_pages_rng_consumption_unchanged_by_duplicates():
+    """The accounting fix must not shift RNG streams: consumption is
+    keyed to len(indices) including duplicates, so traces recorded before
+    the fix still replay."""
+    img_a = MemoryImage(n_pages=8, page_size=32)
+    rng_a = np.random.default_rng(7)
+    img_a.touch_pages(np.array([1, 1, 2]), rng_a)
+    rng_b = np.random.default_rng(7)
+    expected = rng_b.integers(0, 256, size=(3, 8), dtype=np.uint8)
+    # duplicate index 1: the *later* stamp row wins, as direct fancy
+    # assignment does
+    assert np.array_equal(img_a.pages[1, :8], expected[1])
+    assert np.array_equal(img_a.pages[2, :8], expected[2])
+    # both rngs are now at the same stream position
+    assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+
+# ---------------------------------------------------------------------------
+# BufferPool lifetime rules
+# ---------------------------------------------------------------------------
+def test_pool_roundtrip_and_refcount_gate():
+    pool = BufferPool()
+    buf = pool.acquire(256)
+    ident = id(buf)
+    alias = buf  # second reference: recycle must refuse
+    assert pool.recycle(buf) is False
+    assert pool.stats()["rejected"] == 1
+    del alias
+    assert pool.recycle(buf) is True
+    del buf
+    again = pool.acquire(256)
+    assert id(again) == ident, "freed buffer is reissued"
+    assert pool.hits == 1
+
+
+def test_pool_rejects_unsafe_buffers():
+    pool = BufferPool()
+    base = np.zeros(128, dtype=np.uint8)
+    assert pool.recycle(base[:64]) is False  # view
+    assert pool.recycle(np.zeros(16, dtype=np.uint16)) is False  # dtype
+    assert pool.recycle(np.zeros((4, 4), dtype=np.uint8)) is False  # ndim
+    assert pool.recycle(None) is False
+    assert pool.held_buffers == 0
+
+
+def test_pool_caps():
+    pool = BufferPool(max_buffers_per_size=2, max_total_bytes=1024)
+    kept = [pool.recycle(np.zeros(100, dtype=np.uint8)) for _ in range(3)]
+    assert kept == [True, True, False]
+    assert pool.held_buffers == 2
+    assert pool.recycle(np.zeros(1000, dtype=np.uint8)) is False  # total cap
+    pool.clear()
+    assert pool.held_bytes == 0 and pool.held_buffers == 0
+
+
+def test_pool_disabled_is_passthrough():
+    pool = BufferPool()
+    pool.enabled = False
+    assert pool.recycle(np.zeros(64, dtype=np.uint8)) is False
+    a = pool.acquire(64)
+    b = pool.acquire(64)
+    assert a is not b
+
+
+# ---------------------------------------------------------------------------
+# event-heap compaction
+# ---------------------------------------------------------------------------
+def _noop():
+    pass
+
+
+def test_heap_stays_bounded_under_cancel_churn():
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    peak = 0
+    for _ in range(5000):
+        h = sim.schedule(float(rng.random()), _noop)
+        h.cancel()
+        peak = max(peak, sim.heap_size)
+    assert peak <= 2 * Simulator.COMPACT_MIN_CANCELLED + 2
+    assert sim.compactions > 0
+    assert sim.cancelled_pending < Simulator.COMPACT_MIN_CANCELLED
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_compaction_preserves_execution_order(seed: int):
+    """A compacting simulator fires the surviving events in exactly the
+    order a non-compacting one would."""
+
+    def run(compact: bool):
+        sim = Simulator()
+        if not compact:
+            sim.COMPACT_MIN_CANCELLED = 1 << 60  # instance override: never
+        rng = np.random.default_rng(seed)
+        fired: list[int] = []
+        handles = []
+        for i in range(600):
+            t = float(rng.choice([0.25, 0.5, 0.75, 1.0]))  # many ties
+            handles.append(sim.schedule(t, fired.append, i))
+        for i in range(600):
+            if rng.random() < 0.8:
+                handles[i].cancel()
+        sim.run()
+        return fired, sim.compactions
+
+    lazy, lazy_compactions = run(compact=True)
+    eager, eager_compactions = run(compact=False)
+    assert lazy == eager
+    assert lazy_compactions > 0 and eager_compactions == 0
+
+
+def test_peek_and_drain_counter_hygiene():
+    sim = Simulator()
+    sim.COMPACT_MIN_CANCELLED = 1 << 60
+    keep = sim.schedule(2.0, _noop)
+    for _ in range(5):
+        sim.schedule(1.0, _noop).cancel()
+    assert sim.cancelled_pending == 5
+    assert sim.peek() == 2.0  # skips + evicts the cancelled prefix
+    assert sim.cancelled_pending == 0
+    assert sim.heap_size == 1
+    sim.schedule(3.0, _noop).cancel()
+    assert sim.drain() == 1  # only `keep` was still live
+    assert sim.cancelled_pending == 0 and sim.heap_size == 0
+    assert keep.cancelled
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    h = sim.schedule(0.0, _noop)
+    sim.run()
+    h.cancel()
+    assert sim.cancelled_pending == 0
+
+
+# ---------------------------------------------------------------------------
+# COW snapshot safety
+# ---------------------------------------------------------------------------
+def _random_image(rng, cow: bool) -> MemoryImage:
+    img = MemoryImage(n_pages=16, page_size=64, cow=cow)
+    img.write(0, rng.integers(0, 256, size=img.nbytes, dtype=np.uint8))
+    img.clear_dirty()
+    return img
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_cow_snapshot_bit_identical_to_copy(rngs: RngRegistry, seed: int):
+    rng = rngs.stream(f"cow/{seed}")
+    cow = _random_image(rng, cow=True)
+    raw = MemoryImage(n_pages=16, page_size=64, cow=False)
+    raw.restore(cow.flat)
+    for _ in range(6):
+        addr = int(rng.integers(0, cow.nbytes - 32))
+        data = rng.integers(0, 256, size=32, dtype=np.uint8)
+        cow.write(addr, data)
+        raw.write(addr, data)
+        snap = cow.snapshot()
+        assert np.array_equal(snap, raw.snapshot())
+        assert np.array_equal(snap, cow.flat)
+        cow.recycle_snapshot(snap)
+        del snap
+
+
+def test_recycle_never_corrupts_held_snapshot(rng):
+    """A snapshot the caller still references is refused by the recycle
+    gate and its bytes stay frozen while the image keeps mutating."""
+    img = _random_image(rng, cow=True)
+    snap = img.snapshot()
+    frozen = snap.copy()
+    holder = snap  # second reference — recycle must refuse
+    assert img.recycle_snapshot(snap) is False
+    img.write(0, rng.integers(0, 256, size=img.nbytes, dtype=np.uint8))
+    later = img.snapshot()
+    assert np.array_equal(snap, frozen), "held snapshot was mutated"
+    assert np.array_equal(later, img.flat)
+    assert holder is snap
+
+
+def test_cow_reuse_path_recopies_only_stale_pages(rng):
+    img = _random_image(rng, cow=True)
+    snap = img.snapshot()
+    assert img.recycle_snapshot(snap) is True
+    ident = id(snap)
+    del snap
+    img.fill_page(3, 0xEE)
+    again = img.snapshot()
+    assert id(again) == ident, "retired buffer is reused"
+    assert np.array_equal(again, img.flat)

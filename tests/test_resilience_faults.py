@@ -202,7 +202,7 @@ def _assert_zero_residual(network: Network) -> None:
     """The satellite invariant: no failure path may leak link capacity."""
     assert network.active_flows == ()
     for link in network.links.values():
-        assert link.flows == set(), f"{link.name} leaked {link.flows}"
+        assert not link.flows, f"{link.name} leaked {link.flows}"
         assert link.utilization == 0.0
 
 
