@@ -28,6 +28,12 @@ bench scale
     Run the thousand-node scale sweep (incremental allocator + COW +
     buffer pool vs the reference paths) and optionally gate against a
     recorded ``BENCH_scale.json`` baseline (``--check``).
+controlplane run|drain|status
+    Drive the always-on cluster coordinator: ``run`` is the seeded
+    churn soak (concurrent provision/kill/drain/query ops under
+    transient faults and strict audits), ``drain`` performs rolling
+    maintenance of every node with live migrations, ``status`` prints
+    the coordinator's world view after a short managed run.
 calibrate
     Measure this host's streaming XOR bandwidth (the model's
     ``memory_xor_bandwidth`` input).
@@ -524,15 +530,19 @@ def _audit_heal(args: argparse.Namespace) -> int:
     sim.run_processes(driver())
     report = out["report"]
     print(render_table(
-        ["spares", "final state", "rounds", "spares used", "relocated",
-         "healed groups", "degraded window"],
+        ["spares", "final state", "rounds", "spares used", "spares left",
+         "exhausted", "relocated", "healed groups", "degraded window"],
         [[args.spares, report.state.value, report.rounds,
           ",".join(map(str, report.spares_used)) or "-",
+          len(spares), spares.exhausted,
           len(report.relocated), len(report.healed_groups),
           format_seconds(report.window_seconds)
           if report.window_seconds is not None else "still open"]],
         title="self-healing after permanent node loss (fig4)",
     ))
+    if spares.exhausted:
+        print(f"  spare pool ran dry {spares.exhausted} time(s) — "
+              "degraded groups rely on relocation only")
     for issue in report.issues:
         print(f"  outstanding: {issue}")
     if report.state == ClusterHealth.PROTECTED:
@@ -663,6 +673,208 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
         print(f"regression gate passed against {args.check} "
               f"(tolerance {args.tolerance:.0%})")
     return 0
+
+
+def _controlplane_build(args: argparse.Namespace):
+    """Build a managed functional cluster: (sim, cluster, ck, cp, rngs)."""
+    import numpy as np
+
+    from .cluster import ClusterSpec, VirtualCluster
+    from .controlplane import ControlPlane, ControlPlaneConfig
+    from .core import dvdc
+    from .resilience import DEFAULT_RETRY, SparePool
+    from .sim import Simulator, Tracer
+    from .sim.rng import RngRegistry
+
+    sim = Simulator()
+    tracer = Tracer()
+    total = args.nodes + args.spares
+    cluster = VirtualCluster(sim, ClusterSpec(n_nodes=total), tracer=tracer)
+    rngs = RngRegistry(args.seed)
+    init = rngs.stream("image-init")
+    pages, page_size = 16, 64
+    for i in range(args.nodes * args.vms_per_node):
+        vm = cluster.create_vm(
+            i % args.nodes, float(pages * page_size),
+            dirty_rate=10.0, image_pages=pages, page_size=page_size,
+        )
+        vm.image.write(0, init.integers(0, 256, 512, dtype=np.uint8))
+        vm.image.clear_dirty()
+    ck = dvdc(
+        cluster, group_size=args.group_size, tracer=tracer,
+        retry=DEFAULT_RETRY, retry_rng=rngs.stream("retry"),
+    )
+    spares = (
+        SparePool(cluster, node_ids=list(range(args.nodes, total)),
+                  tracer=tracer)
+        if args.spares else None
+    )
+    config = ControlPlaneConfig(
+        checkpoint_interval=2.0,
+        repair_time=args.repair_time,
+        maintenance_seconds=args.maintenance_seconds,
+    )
+    cp = ControlPlane(cluster, ck, spares=spares, config=config,
+                      tracer=tracer)
+    return sim, cluster, ck, cp, rngs
+
+
+def _controlplane_summary(cp) -> str:
+    status = cp.status()
+    ops = status["ops"]
+    return render_table(
+        ["ops", "done", "failed", "fences", "recoveries", "migrations",
+         "verified", "audits", "violations", "health"],
+        [[sum(ops.values()), ops["DONE"], ops["FAILED"],
+          len([r for r in cp.tracer.records
+               if r.kind == "controlplane.fence"]),
+          status["recoveries"], status["migrations"],
+          status["verified_migrations"], status["audits"],
+          status["audit_violations"], status["health"]]],
+        title="control plane",
+    )
+
+
+def _cmd_controlplane_run(args: argparse.Namespace) -> int:
+    """Seeded churn soak: concurrent provision/kill/drain/query ops under
+    transient faults, every reconfiguration strictly audited."""
+    from .controlplane import AuditFailure
+    from .resilience import TransientFaultInjector, TransientFaultSchedule
+    from .sim import AllOf
+
+    sim, cluster, ck, cp, rngs = _controlplane_build(args)
+    if args.faults:
+        horizon = args.ops * args.mean_gap * 1.2
+        schedule = TransientFaultSchedule.draw(
+            rngs.stream("faults"), args.nodes, horizon,
+            rate=args.fault_rate, mean_duration=1.5,
+        )
+        injector = TransientFaultInjector(
+            sim, cluster, schedule, rng=rngs.stream("fault-targets"),
+            tracer=cp.tracer,
+        )
+        injector.start()
+    cp.start()
+    rng = rngs.stream("churn")
+    outcome = {"ok": False, "error": None}
+
+    def churn():
+        ops = []
+        for _ in range(args.ops):
+            yield sim.timeout(float(rng.exponential(args.mean_gap)))
+            kind = rng.choice(
+                ["provision", "kill", "drain", "query"],
+                p=[0.25, 0.2, 0.15, 0.4],
+            )
+            params = {}
+            if kind == "provision":
+                params = dict(memory_bytes=1024.0, image_pages=16,
+                              page_size=64)
+            elif kind in ("kill", "drain"):
+                candidates = [
+                    n.node_id for n in cluster.alive_nodes
+                    if n.node_id not in cp.maintenance
+                    and n.node_id not in cp.fenced
+                ]
+                if not candidates:
+                    kind = "query"
+                else:
+                    params = dict(node_id=int(rng.choice(candidates)))
+            ops.append(cp.submit(kind, **params))
+        yield AllOf(sim, [op.done for op in ops])
+        # settle: let in-flight fences/recoveries/repairs finish
+        settle = 0
+        while (cp.fenced or cp._recovery_queue) and settle < 600:
+            yield sim.timeout(1.0)
+            settle += 1
+        yield sim.timeout(2 * cp.config.repair_time)
+        # one fresh epoch with every node back: re-encodes any parity a
+        # late repair restored capacity for, so the audit sees steady state
+        yield from cp.checkpoint()
+        try:
+            report = cp.audit("post-soak")
+            outcome["ok"] = report.ok
+        except AuditFailure as exc:
+            outcome["error"] = str(exc)
+        cp.stop()
+
+    sim.run_processes(churn(), until=args.ops * args.mean_gap * 200)
+    print(_controlplane_summary(cp))
+    terminal = cp.all_ops_terminal
+    print(f"all ops terminal: {terminal}; final strict audit "
+          f"{'clean' if outcome['ok'] else 'FAILED'}")
+    if outcome["error"]:
+        print(f"  {outcome['error']}")
+    for op in cp.ops:
+        if not op.state.terminal:
+            print(f"  stuck: {op!r} params={op.params}")
+    return 0 if terminal and outcome["ok"] else 1
+
+
+def _cmd_controlplane_drain(args: argparse.Namespace) -> int:
+    """Rolling maintenance: drain+maintain+rejoin every node in turn."""
+    sim, cluster, ck, cp, rngs = _controlplane_build(args)
+    cp.start()
+    outcome = {"ok": True, "issues": []}
+
+    def roll():
+        # first protect everything: one committed epoch
+        yield cp.submit("query").done  # warm the façade
+        while ck.committed_epoch < 0:
+            yield sim.timeout(1.0)
+        for node_id in range(args.nodes):
+            before = cp.verified_migrations
+            op = cp.submit("drain", node_id=node_id)
+            yield op.done
+            if op.state.value != "DONE":
+                outcome["ok"] = False
+                outcome["issues"].append(
+                    f"drain node {node_id}: {op.error}"
+                )
+                continue
+            if cp.verified_migrations == before:
+                outcome["ok"] = False
+                outcome["issues"].append(
+                    f"drain node {node_id}: no checksum-verified migration"
+                )
+        cp.audit("post-rolling-maintenance")
+        cp.stop()
+
+    sim.run_processes(roll(), until=args.nodes * 1000.0)
+    print(_controlplane_summary(cp))
+    bad_audits = [r for r in cp.audits if not r.ok]
+    print(f"rolled {args.nodes} nodes; audits: {len(cp.audits)} "
+          f"({len(bad_audits)} with fatal findings)")
+    for issue in outcome["issues"]:
+        print(f"  {issue}")
+    return 0 if outcome["ok"] and not bad_audits else 1
+
+
+def _cmd_controlplane_status(args: argparse.Namespace) -> int:
+    """Short managed run, then print the coordinator's world view."""
+    sim, cluster, ck, cp, rngs = _controlplane_build(args)
+    cp.start()
+
+    def run():
+        yield sim.timeout(args.duration)
+        cp.stop()
+
+    sim.run_processes(run(), until=args.duration * 10)
+    status = cp.status()
+    print(render_table(
+        ["field", "value"],
+        [[k, str(v)] for k, v in status.items()],
+        title=f"controlplane status after {args.duration:.0f}s",
+    ))
+    return 0
+
+
+def _cmd_controlplane(args: argparse.Namespace) -> int:
+    return {
+        "run": _cmd_controlplane_run,
+        "drain": _cmd_controlplane_drain,
+        "status": _cmd_controlplane_status,
+    }[args.cp_command](args)
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -859,6 +1071,54 @@ def build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional regression for --check")
     bs.set_defaults(func=_cmd_bench_scale)
+
+    cpl = sub.add_parser(
+        "controlplane",
+        help="always-on cluster coordinator: soak, rolling drain, status",
+    )
+    cplsub = cpl.add_subparsers(dest="cp_command", required=True)
+
+    def _cpl_common(sp, nodes: int) -> None:
+        sp.add_argument("--nodes", type=_positive_int, default=nodes,
+                        help="managed (VM-hosting) nodes")
+        sp.add_argument("--vms-per-node", type=_positive_int, default=2)
+        sp.add_argument("--spares", type=int, default=2,
+                        help="cold spare nodes for the healer")
+        sp.add_argument("--group-size", type=_positive_int, default=4)
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--repair-time", type=float, default=10.0,
+                        help="node downtime after a fence before rejoin")
+        sp.add_argument("--maintenance-seconds", type=float, default=0.5,
+                        help="hold time of a drained node")
+
+    cr = cplsub.add_parser(
+        "run",
+        help="seeded churn soak: concurrent ops under transient faults "
+             "and strict audits",
+    )
+    _cpl_common(cr, nodes=12)
+    cr.add_argument("--ops", type=_positive_int, default=500,
+                    help="operations to submit")
+    cr.add_argument("--mean-gap", type=float, default=0.5,
+                    help="mean seconds between submissions")
+    cr.add_argument("--fault-rate", type=float, default=0.002,
+                    help="transient faults per node-second")
+    cr.add_argument("--no-faults", dest="faults", action="store_false",
+                    help="disable the transient fault injector")
+    cr.set_defaults(func=_cmd_controlplane, faults=True)
+
+    cd = cplsub.add_parser(
+        "drain",
+        help="rolling maintenance: drain+maintain+rejoin every node",
+    )
+    _cpl_common(cd, nodes=64)
+    cd.set_defaults(func=_cmd_controlplane)
+
+    cs = cplsub.add_parser("status", help="short managed run + status table")
+    _cpl_common(cs, nodes=8)
+    cs.add_argument("--duration", type=float, default=20.0,
+                    help="sim seconds to run before the snapshot")
+    cs.set_defaults(func=_cmd_controlplane)
 
     ca = sub.add_parser("calibrate", help="measure host XOR bandwidth")
     ca.add_argument("--size", type=int, default=1 << 24, help="buffer bytes")

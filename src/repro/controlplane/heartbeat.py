@@ -1,0 +1,125 @@
+"""Keepalive emission and the fencing registry.
+
+Every managed node runs a node-daemon-style keepalive process
+(:func:`keepalive_loop`): once per interval it records "I'm alive" with
+the coordinator's :class:`HeartbeatRegistry` — but only if the node is
+actually up **and its NIC links are up**.  That single gate is what
+folds the two failure sources into one detection path:
+
+* a crash (``failures.injector``, or a kill op) stops the node, so the
+  beat stops;
+* a link flap (``resilience.faults``) leaves the node running but
+  unreachable, so the beat *also* stops — from the coordinator's chair
+  the two are indistinguishable, exactly as in a real cluster.
+
+A *degraded* NIC (``scale_node_bandwidth``) keeps the link up: slow
+keepalives still arrive, so stragglers are not fenced — slowness is not
+death.
+
+The registry answers one question — :meth:`HeartbeatRegistry.overdue` —
+and the coordinator decides what fencing means (STONITH for
+false-positives, recovery for true crashes; see
+:class:`~repro.controlplane.coordinator.ControlPlane`).
+
+Heartbeats are pure simulator events: they carry zero bytes over the
+network model, so a fault-free run with the control plane enabled is
+bit-identical (checkpoints, parity, flows, RNG) to a coordinator-free
+run — the golden test pins that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import VirtualCluster
+from ..sim import Interrupt
+from ..telemetry.probe import Probe
+
+__all__ = ["KeepalivePolicy", "HeartbeatRegistry", "keepalive_loop"]
+
+
+@dataclass(frozen=True)
+class KeepalivePolicy:
+    """Fencing policy: beat cadence and how many misses mean death."""
+
+    interval: float = 1.0
+    miss_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+        if self.miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}"
+            )
+
+    @property
+    def deadline(self) -> float:
+        """Silence longer than this fences the node."""
+        return self.interval * self.miss_threshold
+
+
+class HeartbeatRegistry:
+    """Last-seen table the fencing monitor sweeps."""
+
+    def __init__(self, policy: KeepalivePolicy):
+        self.policy = policy
+        self.last_seen: dict[int, float] = {}
+
+    def enroll(self, node_id: int, now: float) -> None:
+        """Start monitoring a node; counts as a fresh beat."""
+        self.last_seen[node_id] = now
+
+    def unenroll(self, node_id: int) -> None:
+        self.last_seen.pop(node_id, None)
+
+    def enrolled(self, node_id: int) -> bool:
+        return node_id in self.last_seen
+
+    def beat(self, node_id: int, now: float) -> None:
+        if node_id in self.last_seen:
+            self.last_seen[node_id] = now
+
+    def overdue(self, now: float) -> list[int]:
+        """Enrolled nodes silent past the policy deadline."""
+        deadline = self.policy.deadline
+        return sorted(
+            nid for nid, seen in self.last_seen.items()
+            if now - seen > deadline
+        )
+
+
+def keepalive_loop(
+    cluster: VirtualCluster,
+    node_id: int,
+    registry: HeartbeatRegistry,
+    probe: Probe,
+    suspended: set[int],
+):
+    """Process: one node's keepalive daemon.
+
+    Beats only when the node is alive, not suspended (maintenance), and
+    its tx link is up — a dead or partitioned node goes silent and the
+    monitor notices.  Runs forever; stopped by interrupt.
+    """
+    sim = cluster.sim
+    interval = registry.policy.interval
+    try:
+        while True:
+            yield sim.timeout(interval)
+            if not registry.enrolled(node_id):
+                continue
+            if node_id in suspended:
+                continue
+            node = cluster.node(node_id)
+            if not node.alive:
+                continue
+            if not cluster.topology.tx[node_id].up:
+                continue  # partitioned: the keepalive never arrives
+            registry.beat(node_id, sim.now)
+            probe.count(
+                "repro_controlplane_heartbeats_total",
+                help="Keepalives received by the coordinator",
+            )
+    except Interrupt:
+        return

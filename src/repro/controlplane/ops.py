@@ -1,0 +1,102 @@
+"""Per-operation state machines for the control-plane API façade.
+
+Every request submitted through :meth:`ControlPlane.submit` becomes an
+:class:`Operation` with the four-state lifecycle
+
+::
+
+    PENDING ──▶ RUNNING ──▶ DONE
+                   │
+                   └──────▶ FAILED
+
+mirroring how PVC-style api-daemons track cluster mutations: the caller
+gets a handle immediately, the coordinator drives the transition, and
+terminal states carry either a ``result`` payload or an ``error``
+string.  Transitions are validated — an op can never go backwards or
+terminate twice — so fuzzers that hammer the façade get a hard failure
+the instant the coordinator mishandles a lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["OpState", "Operation", "OpRejected", "OP_KINDS"]
+
+#: The operation vocabulary of the façade.
+OP_KINDS = ("provision", "kill", "drain", "query")
+
+
+class OpState(str, Enum):
+    """Lifecycle state of one submitted operation."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (OpState.DONE, OpState.FAILED)
+
+
+class OpRejected(RuntimeError):
+    """The coordinator refused an operation (safety guard, bad target).
+
+    Rejections are ordinary FAILED terminals, not crashes — the cluster
+    saying *no* to a mutation that would cost it its fault tolerance.
+    """
+
+
+_LEGAL = {
+    OpState.PENDING: {OpState.RUNNING},
+    OpState.RUNNING: {OpState.DONE, OpState.FAILED},
+    OpState.DONE: set(),
+    OpState.FAILED: set(),
+}
+
+
+@dataclass
+class Operation:
+    """One submitted control-plane request and its lifecycle record."""
+
+    op_id: int
+    kind: str
+    params: dict = field(default_factory=dict)
+    state: OpState = OpState.PENDING
+    result: Any = None
+    error: str | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: :class:`~repro.sim.process.SimEvent` triggered (with the op as
+    #: value) on entering a terminal state; yieldable by processes.
+    done: Any = None
+
+    def _to(self, state: OpState, now: float) -> None:
+        if state not in _LEGAL[self.state]:
+            raise RuntimeError(
+                f"op {self.op_id} ({self.kind}): illegal transition "
+                f"{self.state.value} -> {state.value}"
+            )
+        self.state = state
+        if state == OpState.RUNNING:
+            self.started_at = now
+        elif state.terminal:
+            self.finished_at = now
+
+    def start(self, now: float) -> None:
+        self._to(OpState.RUNNING, now)
+
+    def finish(self, now: float, result: Any = None) -> None:
+        self.result = result
+        self._to(OpState.DONE, now)
+
+    def fail(self, now: float, error: str) -> None:
+        self.error = error
+        self._to(OpState.FAILED, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Op {self.op_id} {self.kind} {self.state.value}>"

@@ -106,6 +106,21 @@ class GroupLayout:
         for vm_id in new_group.member_vm_ids:
             self._group_of[vm_id] = new_group
 
+    def add_group(self, group: RaidGroup) -> None:
+        """Append a new group (e.g. freshly provisioned VMs entering
+        protection), keeping ids and the vm→group index consistent."""
+        if any(g.group_id == group.group_id for g in self.groups):
+            raise LayoutError(f"group id {group.group_id} already in layout")
+        for vm_id in group.member_vm_ids:
+            if vm_id in self._group_of:
+                raise LayoutError(f"vm {vm_id} already in another group")
+        self.groups.append(group)
+        for vm_id in group.member_vm_ids:
+            self._group_of[vm_id] = group
+
+    def next_group_id(self) -> int:
+        return max((g.group_id for g in self.groups), default=-1) + 1
+
     def groups_with_parity_on(self, node_id: int) -> list[RaidGroup]:
         return [g for g in self.groups if g.parity_node == node_id]
 

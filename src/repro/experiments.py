@@ -177,11 +177,20 @@ class PairedJobStudy:
         vms_per_node: int = 3,
         failure_dist: FailureDistribution | None = None,
         functional: bool = True,
+        managed: bool = False,
     ):
         if not methods:
             raise ValueError("need at least one MethodSpec")
         if seeds < 1:
             raise ValueError("need at least one seed")
+        if managed:
+            unsupported = [m.name for m in methods if m.name != "dvdc"]
+            if unsupported:
+                raise ValueError(
+                    "managed mode needs the dvdc single-parity protocol "
+                    f"(XOR layout + healer); unsupported: {unsupported}"
+                )
+        self.managed = managed
         self.methods = methods
         self.work = float(work)
         self.interval = interval
@@ -211,13 +220,26 @@ class PairedJobStudy:
         )
         injector = FailureInjector(sc.sim, n_nodes, schedule=schedule)
         ck = spec.build(sc.cluster)
+        controlplane = None
+        if self.managed:
+            # route failure handling through the coordinator: heartbeat
+            # detection, fencing, recovery, healing, strict audits — the
+            # job keeps only work accounting and checkpoint cadence
+            from .controlplane import ControlPlane, ControlPlaneConfig
+
+            controlplane = ControlPlane(
+                sc.cluster, ck,
+                config=ControlPlaneConfig(repair_time=self.repair_time),
+            ).start()
         job = CheckpointedJob(
             sc.cluster, ck, work=self.work, interval=self.interval,
             injector=injector, repair_time=self.repair_time,
-            overlap=spec.overlap,
+            overlap=spec.overlap, controlplane=controlplane,
         )
         injector.start()
         proc = job.start()
+        if controlplane is not None:
+            proc.subscribe(lambda ev: controlplane.stop())
         sc.sim.run(until=self.work * 100)
         if proc.ok is False:
             raise proc.value

@@ -31,6 +31,7 @@ import numpy as np
 from ..checkpoint.strategies import IncrementalCapture
 from ..cluster import memory
 from ..cluster.cluster import ClusterSpec, VirtualCluster
+from ..controlplane.scheduler import PlacementEngine
 from ..core.architectures import dvdc
 from ..sim import Simulator, Tracer, NULL_TRACER
 from ..sim.rng import RngRegistry
@@ -83,10 +84,14 @@ def build_scale_scenario(cfg: ScaleConfig, tracer: Tracer | None = None):
     memory.DEFAULT_COW = cfg.cow
     try:
         cluster = VirtualCluster(sim, spec, tracer=tracer)
+        # placement routed through the control plane's engine; on an
+        # empty cluster its least-loaded greedy reproduces the classic
+        # round-robin exactly (pinned by the golden digests)
+        hosts = PlacementEngine(cluster).spread(cfg.n_vms)
         init = rngs.stream("image-init")
         for i in range(cfg.n_vms):
             vm = cluster.create_vm(
-                i % cfg.n_nodes, 1e9, dirty_rate=2e5,
+                hosts[i], 1e9, dirty_rate=2e5,
                 image_pages=cfg.image_pages, page_size=cfg.page_size,
             )
             fill = min(512, vm.image.nbytes)

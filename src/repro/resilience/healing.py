@@ -57,10 +57,19 @@ class SparePool:
     load-based placement helpers then prefer it naturally).
     """
 
-    def __init__(self, cluster: VirtualCluster, node_ids: list[int] | None = None):
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        node_ids: list[int] | None = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
         self.cluster = cluster
+        self.tracer = tracer
         self._available: list[int] = []
         self.acquired: list[int] = []
+        #: times :meth:`acquire` came up empty — every one is a failure
+        #: the cluster could not re-protect against
+        self.exhausted = 0
         for nid in node_ids or []:
             self.add(nid)
 
@@ -98,8 +107,22 @@ class SparePool:
         return len(self._available)
 
     def acquire(self) -> int | None:
-        """Power on the lowest-numbered spare; None when the pool is dry."""
+        """Power on the lowest-numbered spare; None when the pool is dry.
+
+        An empty pool is not silent: each dry acquire emits a
+        ``healing.spares_exhausted`` trace event and bumps the
+        ``repro_resilience_spares_exhausted_total`` counter, so
+        operators see the moment self-healing runs out of hardware."""
         if not self._available:
+            self.exhausted += 1
+            self.tracer.emit(
+                self.cluster.sim.now, "healing.spares_exhausted",
+                acquired=len(self.acquired),
+            )
+            probe_of(self.tracer).count(
+                "repro_resilience_spares_exhausted_total",
+                help="Spare-pool acquire() calls that found the pool dry",
+            )
             return None
         nid = self._available.pop(0)
         self.cluster.repair_node(nid)
@@ -132,7 +155,15 @@ class SelfHealer:
     ):
         self.ck = checkpointer
         self.cluster = checkpointer.cluster
-        self.spares = spares if spares is not None else SparePool(checkpointer.cluster)
+        self.spares = (
+            spares
+            if spares is not None
+            else SparePool(checkpointer.cluster, tracer=tracer)
+        )
+        if self.spares.tracer is NULL_TRACER and tracer is not NULL_TRACER:
+            # surface pool exhaustion through the healer's tracer rather
+            # than dropping it on the floor
+            self.spares.tracer = tracer
         self.tracer = tracer
         self.probe = probe_of(tracer)
         self.state = ClusterHealth.PROTECTED

@@ -1,7 +1,13 @@
 """Workloads: checkpointed jobs, dirty-page processes, scenario factories."""
 
 from .app import CheckpointedJob, JobResult
-from .dirtypages import HotColdDirty, PhasedDirty, UniformDirty, drive_vm
+from .dirtypages import (
+    HotColdDirty,
+    PhasedDirty,
+    UniformDirty,
+    WorkloadDirtyModel,
+    drive_vm,
+)
 from .generators import Scenario, cluster_model_for, paper_scenario, scaled_scenario
 
 __all__ = [
@@ -10,6 +16,7 @@ __all__ = [
     "UniformDirty",
     "HotColdDirty",
     "PhasedDirty",
+    "WorkloadDirtyModel",
     "drive_vm",
     "Scenario",
     "paper_scenario",

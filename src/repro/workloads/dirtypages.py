@@ -20,7 +20,13 @@ import numpy as np
 from ..cluster.vm import VirtualMachine, VMState
 from ..sim import Interrupt, Simulator
 
-__all__ = ["UniformDirty", "HotColdDirty", "PhasedDirty", "drive_vm"]
+__all__ = [
+    "UniformDirty",
+    "HotColdDirty",
+    "PhasedDirty",
+    "WorkloadDirtyModel",
+    "drive_vm",
+]
 
 
 class UniformDirty:
@@ -33,6 +39,11 @@ class UniformDirty:
 
     def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
         return rng.integers(0, self.n_pages, size=count, dtype=np.int64)
+
+    def expected_unique_pages(self, touches: float) -> float:
+        """Expected distinct pages dirtied after ``touches`` uniform
+        writes (single-tier coupon collector)."""
+        return float(self.n_pages * (1.0 - np.exp(-touches / self.n_pages)))
 
 
 class HotColdDirty:
@@ -91,6 +102,57 @@ class PhasedDirty:
         base = (phase * self.window_pages) % self.n_pages
         offs = rng.integers(0, self.window_pages, size=count, dtype=np.int64)
         return (base + offs) % self.n_pages
+
+    def expected_unique_pages(self, touches: float) -> float:
+        """Expected distinct pages after ``touches`` writes, within one
+        phase (coupon collector over the current window).  Cross-phase
+        accumulation depends on sampling cadence, so this is the
+        single-phase lower bound."""
+        w = self.window_pages
+        return float(min(self.n_pages, w * (1.0 - np.exp(-touches / w))))
+
+
+class WorkloadDirtyModel:
+    """Saturating dirty-set curve of a real page-touch workload.
+
+    Pre-copy's synthetic model charges ``dirty_rate · t`` bytes per
+    round — a line that never bends.  Real workloads re-dirty their hot
+    pages, so the transferable dirty set saturates at the working set:
+    this adapter maps any dirty-page *pattern* (via its
+    ``expected_unique_pages`` coupon-collector curve) plus a touch rate
+    to expected dirty **bytes** over an interval, which is what
+    :func:`repro.migration.precopy.live_migrate` and
+    :meth:`~repro.migration.precopy.PrecopyModel.estimate` consume.
+    """
+
+    def __init__(self, pattern, touches_per_second: float, page_bytes: float):
+        if touches_per_second < 0:
+            raise ValueError(
+                f"touches_per_second must be >= 0, got {touches_per_second}"
+            )
+        if page_bytes <= 0:
+            raise ValueError(f"page_bytes must be > 0, got {page_bytes}")
+        if not hasattr(pattern, "expected_unique_pages"):
+            raise TypeError(
+                f"pattern {pattern!r} has no expected_unique_pages() curve"
+            )
+        self.pattern = pattern
+        self.touches_per_second = float(touches_per_second)
+        self.page_bytes = float(page_bytes)
+
+    @property
+    def peak_rate(self) -> float:
+        """Initial slope in bytes/second (every touch hits a clean page)
+        — the honest stand-in for ``vm.dirty_rate`` in ρ convergence
+        checks."""
+        return self.touches_per_second * self.page_bytes
+
+    def dirty_bytes(self, elapsed: float) -> float:
+        """Expected bytes dirtied over ``elapsed`` seconds of execution."""
+        if elapsed <= 0:
+            return 0.0
+        touches = self.touches_per_second * elapsed
+        return self.pattern.expected_unique_pages(touches) * self.page_bytes
 
 
 def drive_vm(

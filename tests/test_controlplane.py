@@ -1,0 +1,498 @@
+"""Control-plane coordinator: fencing, ops façade, drain, salvage.
+
+Covers the keepalive/fencing daemon (true crash vs straggler-NIC false
+positive vs sub-deadline flap), the PENDING→RUNNING→DONE/FAILED op
+state machine, the kill-op safety guard, live-drain maintenance with
+checksum-verified migrations and zero unprotected windows, the
+beyond-tolerance salvage path, and the managed experiment mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.strategies import IncrementalCapture
+from repro.cluster import ClusterSpec, VirtualCluster
+from repro.cluster.vm import VMState
+from repro.controlplane import (
+    ControlPlane,
+    ControlPlaneConfig,
+    Operation,
+    OpRejected,
+    OpState,
+    PlacementEngine,
+    PlacementError,
+)
+from repro.core.architectures import dvdc
+from repro.failures.injector import (
+    FailureEvent,
+    FailureInjector,
+    FailureSchedule,
+)
+from repro.resilience import SparePool
+from repro.sim import Simulator, Tracer
+
+VM_BYTES = float(16 * 64)  # 16 pages x 64B: cycles finish in sim-seconds
+
+
+def _populated(sim, n_active, n_spare=0, vms_per_node=2, seed=7):
+    cluster = VirtualCluster(sim, ClusterSpec(n_nodes=n_active + n_spare))
+    rng = np.random.default_rng(seed)
+    for node in range(n_active):
+        for _ in range(vms_per_node):
+            vm = cluster.create_vm(
+                node, VM_BYTES, dirty_rate=10.0, image_pages=16, page_size=64
+            )
+            vm.image.write(
+                0, rng.integers(0, 256, vm.image.nbytes, dtype=np.uint8)
+            )
+            vm.image.clear_dirty()
+    return cluster
+
+
+def make_cp(sim, n_active=6, n_spare=0, group_size=3, strategy=None, **cfg):
+    cluster = _populated(sim, n_active, n_spare)
+    tracer = Tracer()
+    ck = dvdc(cluster, group_size=group_size, strategy=strategy,
+              tracer=tracer)
+    spares = SparePool.provision(cluster, n_spare) if n_spare else None
+    cfg.setdefault("repair_time", 8.0)
+    cp = ControlPlane(
+        cluster, ck, spares=spares, config=ControlPlaneConfig(**cfg),
+        tracer=tracer,
+    )
+    return cluster, ck, cp
+
+
+def drive(sim, cp, gen, until=500.0):
+    """Run ``gen`` to completion with the control plane live, then stop
+    the daemons so the heap can drain; re-raise the driver's failure."""
+
+    def main():
+        try:
+            return (yield from gen)
+        finally:
+            cp.stop()
+
+    proc = sim.process(main())
+    sim.run(until=until)
+    if proc.ok is False:
+        raise proc.value
+    assert proc.triggered, "driver never finished (deadlock?)"
+    return proc.value
+
+
+def events_of(cp, kind):
+    return [r for r in cp.tracer.records if r.kind == kind]
+
+
+# ---------------------------------------------------------------------------
+# keepalive + fencing
+# ---------------------------------------------------------------------------
+class TestFencing:
+    def test_injected_crash_is_fenced_then_recovered(self):
+        """A real crash silences the beat; the fence is not a false
+        positive, and the recovery pipeline restores every VM."""
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        schedule = FailureSchedule(
+            [FailureEvent(time=5.0, node_id=2, ordinal=0)]
+        )
+        injector = FailureInjector(sim, 6, schedule=schedule)
+        cp.attach_injector(injector)
+        injector.start()
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            ok, error = yield cp.recovered_event(2)
+            assert ok, error
+            # wait out the repair so the node rejoins
+            yield sim.timeout(cp.config.repair_time + 2.0)
+
+        drive(sim, cp, scenario())
+        fences = events_of(cp, "controlplane.fence")
+        assert [f.data["node"] for f in fences] == [2]
+        assert fences[0].data["false_positive"] is False
+        # detection latency: silence starts at t=5, deadline is
+        # interval * miss_threshold, monitor sweeps each interval
+        assert 5.0 + cp.policy.deadline <= fences[0].time <= 5.0 + cp.policy.deadline + 2 * cp.policy.interval
+        assert all(vm.state == VMState.RUNNING for vm in cluster.all_vms)
+        assert cluster.node(2).alive  # repaired and back
+        assert events_of(cp, "controlplane.rejoin")
+        assert cp.audits and all(r.ok for r in cp.audits)
+
+    def test_straggler_nic_is_a_false_positive_stonith(self):
+        """A long link flap is indistinguishable from a crash at the
+        keepalive layer: the node is fenced as a false positive and
+        power-fenced (STONITH) before its VMs are rebuilt."""
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            cluster.topology.set_node_links_up(3, False, reason="flap")
+            yield sim.timeout(8.0)
+            cluster.topology.set_node_links_up(3, True)
+            ok, error = yield cp.recovered_event(3)
+            assert ok, error
+            yield sim.timeout(cp.config.repair_time + 2.0)
+
+        drive(sim, cp, scenario())
+        fences = events_of(cp, "controlplane.fence")
+        assert [f.data["node"] for f in fences] == [3]
+        assert fences[0].data["false_positive"] is True
+        assert cluster.node(3).failure_count == 1  # STONITH really killed it
+        assert cluster.node(3).alive
+        assert all(vm.state == VMState.RUNNING for vm in cluster.all_vms)
+        assert cp.audits and all(r.ok for r in cp.audits)
+
+    def test_short_flap_under_deadline_is_not_fenced(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            cluster.topology.set_node_links_up(1, False, reason="blip")
+            yield sim.timeout(cp.policy.deadline - 1.0)
+            cluster.topology.set_node_links_up(1, True)
+            yield sim.timeout(10.0)
+
+        drive(sim, cp, scenario())
+        assert not events_of(cp, "controlplane.fence")
+        assert not cp.fenced
+
+    def test_death_in_unenrolled_window_is_swept(self):
+        """Regression: a node that dies while *unenrolled* (the window
+        between repair and the monitor's next re-enroll tick) emits no
+        beat to miss — the monitor must still fence it."""
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            cp.registry.unenroll(4)  # simulate the post-repair window
+            cluster.kill_node(4)
+            cp.healer.on_failure()
+            sim.schedule(cp.config.repair_time, cp._repair, 4)
+            ok, error = yield cp.recovered_event(4)
+            assert ok, error
+
+        drive(sim, cp, scenario())
+        fences = events_of(cp, "controlplane.fence")
+        assert [f.data["node"] for f in fences] == [4]
+        assert all(
+            vm.state == VMState.RUNNING for vm in cluster.all_vms
+        )
+
+    def test_spare_pool_standbys_are_never_fenced(self):
+        """Powered-off spares look exactly like dead nodes; the sweep
+        must not declare them crashed."""
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6, n_spare=2)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            yield sim.timeout(10.0)
+
+        drive(sim, cp, scenario())
+        assert not events_of(cp, "controlplane.fence")
+        assert not cluster.node(6).alive and not cluster.node(7).alive
+
+
+# ---------------------------------------------------------------------------
+# operation state machine
+# ---------------------------------------------------------------------------
+class TestOps:
+    def test_lifecycle_transitions(self):
+        op = Operation(op_id=0, kind="query")
+        assert op.state is OpState.PENDING and not op.state.terminal
+        op.start(1.0)
+        assert op.state is OpState.RUNNING
+        op.finish(2.0, {"x": 1})
+        assert op.state.terminal and op.result == {"x": 1}
+        assert (op.started_at, op.finished_at) == (1.0, 2.0)
+
+    def test_illegal_transitions_raise(self):
+        op = Operation(op_id=0, kind="kill")
+        with pytest.raises(RuntimeError, match="illegal transition"):
+            op.finish(0.0)  # PENDING cannot terminate
+        op.start(0.0)
+        op.fail(1.0, "boom")
+        with pytest.raises(RuntimeError, match="illegal transition"):
+            op.start(2.0)  # terminal states are final
+        with pytest.raises(RuntimeError, match="illegal transition"):
+            op.finish(2.0)
+
+    def test_submit_requires_started_and_known_kind(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 4)
+        with pytest.raises(RuntimeError, match="not started"):
+            cp.submit("query")
+        cp.start()
+        with pytest.raises(ValueError, match="unknown op kind"):
+            cp.submit("reboot")
+        cp.stop()
+
+    def test_provision_is_protected_at_next_epoch(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            op = cp.submit("provision", memory_bytes=VM_BYTES,
+                           image_pages=16, page_size=64)
+            yield op.done
+            assert op.state is OpState.DONE
+            vm_id = op.result["vm_id"]
+            assert vm_id in cp.pending_protect
+            yield from cp.checkpoint()  # enrolls + first full capture
+            return vm_id
+
+        vm_id = drive(sim, cp, scenario())
+        assert vm_id not in cp.pending_protect
+        group = ck.layout.group_of(vm_id)
+        assert vm_id in group.member_vm_ids
+        parity_home = cluster.node(group.parity_node)
+        assert group.group_id in parity_home.parity_store
+        report = cp.audit("after provision epoch")
+        assert report.ok
+
+    def test_provision_rejected_mid_run_under_incremental_capture(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6, strategy=IncrementalCapture())
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            op = cp.submit("provision", memory_bytes=VM_BYTES,
+                           image_pages=16, page_size=64)
+            yield op.done
+            return op
+
+        op = drive(sim, cp, scenario())
+        assert op.state is OpState.FAILED
+        assert "OpRejected" in op.error and "base epoch" in op.error
+
+    def test_kill_refused_when_group_would_exceed_tolerance(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        # one group element already unavailable: killing a second
+        # element of the same group would lose data
+        victim_group = ck.layout.groups[0]
+        down = cluster.vm(victim_group.member_vm_ids[0]).node_id
+        cluster.kill_node(down)
+        peer = cluster.vm(victim_group.member_vm_ids[1]).node_id
+        reason = cp._safe_to_kill(peer)
+        assert reason is not None and "tolerance" in reason
+
+    def test_kill_refused_for_unprotected_vms(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            op = cp.submit("provision", memory_bytes=VM_BYTES,
+                           image_pages=16, page_size=64)
+            yield op.done
+            host = op.result["node"]
+            kill = cp.submit("kill", node_id=host)
+            yield kill.done
+            return kill
+
+        kill = drive(sim, cp, scenario())
+        assert kill.state is OpState.FAILED
+        assert "not yet protected" in kill.error
+
+    def test_kill_drives_fence_and_recovery_to_done(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            op = cp.submit("kill", node_id=1)
+            yield op.done
+            return op
+
+        op = drive(sim, cp, scenario())
+        assert op.state is OpState.DONE
+        assert op.result["recovered"] is True
+        assert all(vm.state == VMState.RUNNING for vm in cluster.all_vms)
+        assert cp.audits and cp.audits[-1].ok
+
+
+# ---------------------------------------------------------------------------
+# drain / rolling maintenance
+# ---------------------------------------------------------------------------
+class TestDrain:
+    def test_drain_verifies_migrations_and_leaves_no_gap(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6, maintenance_seconds=1.0)
+        cp.start()
+        n_vms = len(cluster.vms_on(2))
+        parity_groups = [
+            g.group_id for g in ck.layout.groups if g.parity_node == 2
+        ]
+
+        def scenario():
+            yield from cp.checkpoint()
+            op = cp.submit("drain", node_id=2)
+            yield op.done
+            return op
+
+        op = drive(sim, cp, scenario())
+        assert op.state is OpState.DONE, op.error
+        summary = op.result
+        assert len(summary["migrated_vms"]) == n_vms
+        assert set(summary["moved_parity_groups"]) == set(parity_groups)
+        assert summary["rejoined"] is True
+        # every migration end-to-end checksum verified
+        assert cp.verified_migrations == n_vms
+        # zero unprotected windows: an audit ran after every migration,
+        # every parity move, and the rejoin — all clean
+        assert len(cp.audits) >= n_vms + len(parity_groups) + 1
+        assert all(r.ok for r in cp.audits)
+        assert cluster.node(2).alive  # rejoined
+        assert 2 not in cp.maintenance
+
+    def test_drain_rejects_double_maintenance(self):
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6, maintenance_seconds=30.0)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            first = cp.submit("drain", node_id=0)
+            # give the first drain time to enter maintenance, then race
+            yield sim.timeout(0.1)
+            second = cp.submit("drain", node_id=0)
+            yield second.done
+            assert second.state is OpState.FAILED
+            assert "maintenance" in second.error
+            yield first.done
+            return first
+
+        first = drive(sim, cp, scenario())
+        assert first.state is OpState.DONE
+
+    def test_rolling_maintenance_every_node(self):
+        """Roll through *all* nodes of a cluster under the strict
+        auditor: every drain migrates with checksum verification and no
+        audit observes an unprotected window."""
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 8, maintenance_seconds=0.5)
+        cp.start()
+
+        def scenario():
+            yield from cp.checkpoint()
+            for node_id in range(8):
+                before = cp.verified_migrations
+                op = cp.submit("drain", node_id=node_id)
+                yield op.done
+                assert op.state is OpState.DONE, (node_id, op.error)
+                assert cp.verified_migrations > before
+            return cp.status()
+
+        status = drive(sim, cp, scenario(), until=2000.0)
+        assert status["alive"] == 8
+        assert status["unprotected_vms"] == 0
+        assert cp.audits and all(r.ok for r in cp.audits)
+
+
+# ---------------------------------------------------------------------------
+# salvage: beyond-tolerance loss
+# ---------------------------------------------------------------------------
+class TestSalvage:
+    def test_double_member_loss_is_salvaged(self):
+        """Two members of one XOR group die in the same pileup: parity
+        cannot rebuild them, so the coordinator reprovisions the lost
+        VMs fresh and takes a full epoch — the cluster ends protected
+        instead of permanently degraded."""
+        sim = Simulator()
+        cluster, ck, cp = make_cp(sim, 6)
+        cp.start()
+        group = ck.layout.groups[0]
+        a = cluster.vm(group.member_vm_ids[0]).node_id
+        b = cluster.vm(group.member_vm_ids[1]).node_id
+
+        def scenario():
+            yield from cp.checkpoint()
+            for node_id in (a, b):
+                cluster.kill_node(node_id)
+                cp.healer.on_failure()
+                sim.schedule(cp.config.repair_time, cp._repair, node_id)
+            oks = []
+            for node_id in (a, b):
+                ok, error = yield cp.recovered_event(node_id)
+                oks.append(ok)
+            yield sim.timeout(cp.config.repair_time + 2.0)
+            return oks
+
+        oks = drive(sim, cp, scenario())
+        # the *last* queued recovery runs the salvage and succeeds
+        assert oks[-1] is True
+        salvages = events_of(cp, "controlplane.salvage")
+        assert salvages and "tolerance" in salvages[0].data["cause"]
+        assert all(vm.state == VMState.RUNNING for vm in cluster.all_vms)
+        assert all(vm.node_id is not None for vm in cluster.all_vms)
+        report = cp.audit("after salvage")
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# placement engine
+# ---------------------------------------------------------------------------
+class TestPlacement:
+    def test_choose_host_least_loaded_lowest_id(self, sim):
+        cluster = _populated(sim, 4, vms_per_node=1)
+        engine = PlacementEngine(cluster)
+        extra = cluster.create_vm(2, VM_BYTES)
+        assert cluster.vms_on(2) and extra
+        # nodes 0,1,3 tie at one VM; lowest id wins
+        assert engine.choose_host() == 0
+        assert engine.choose_host(exclude={0}) == 1
+
+    def test_round_robin_matches_classic_modulo(self, sim):
+        cluster = VirtualCluster(sim, ClusterSpec(n_nodes=5))
+        engine = PlacementEngine(cluster)
+        assert engine.round_robin(12) == [i % 5 for i in range(12)]
+
+    def test_placement_error_when_everything_excluded(self, sim):
+        cluster = VirtualCluster(sim, ClusterSpec(n_nodes=2))
+        engine = PlacementEngine(cluster)
+        with pytest.raises(PlacementError):
+            engine.choose_host(exclude={0, 1})
+
+
+# ---------------------------------------------------------------------------
+# managed experiments
+# ---------------------------------------------------------------------------
+class TestManagedStudy:
+    def test_managed_requires_dvdc(self):
+        from repro.experiments import MethodSpec, PairedJobStudy
+
+        with pytest.raises(ValueError, match="managed mode"):
+            PairedJobStudy(
+                methods=[MethodSpec("diskful")], seeds=1, managed=True
+            )
+
+    def test_managed_study_completes(self):
+        from repro.experiments import MethodSpec, PairedJobStudy
+
+        study = PairedJobStudy(
+            methods=[MethodSpec("dvdc")],
+            work=600.0, interval=120.0, node_mtbf=36000.0,
+            repair_time=30.0, seeds=2, n_nodes=4, vms_per_node=2,
+            managed=True,
+        )
+        outcome = study.run()
+        assert len(outcome.cells) == 2
+        assert outcome.completion_rate("dvdc") == 1.0
