@@ -1,0 +1,79 @@
+"""BENCH-SERVING — arrival-stream throughput and serving-sweep rates.
+
+Reproduces the ISSUE's serving performance contract: open-loop arrival
+generation sustains >= 1M requests per run in vectorized chunks with
+bit-identical chunked vs monolithic output, and the PS serving sweep
+processes a checkpoint-protected cell at simulator-bulk rates (no
+per-request Python events).
+
+Wall-clock rates are hardware-dependent and therefore only *reported*
+(and gated softly against ``BENCH_serving.json`` by CI via ``repro
+bench serving --check``); everything byte-exact — digests, counts,
+exact quantiles — is asserted hard right here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.serving import ServingLoad, run_serving_cell
+from repro.serving.bench import (
+    SERVE_POLICY,
+    SERVE_QUICK_LOAD,
+    SERVE_SEED,
+    generate_serving_bench,
+)
+
+BENCH_REPORT = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+
+def test_serving_bench_report(report):
+    """Generate the full bench, write the report, gate the invariants."""
+    result = generate_serving_bench(quick=False, log=report)
+    BENCH_REPORT.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    arrivals = result["arrivals"]
+    assert arrivals["n_requests"] >= 1_000_000  # the ISSUE floor
+    assert arrivals["chunk_invariant"], (
+        f"chunked digest {arrivals['digest']} != monolithic "
+        f"{arrivals['monolithic_digest']}"
+    )
+    serve = result["serve"]
+    assert serve["completed"] == serve["offered"] == serve["n_requests"]
+    assert serve["lost"] == 0 and serve["lost_unrouted"] == 0
+    assert serve["pauses"] > 0  # the protection actually ran
+    report(
+        f"serving bench -> {BENCH_REPORT.name}: arrivals "
+        f"{arrivals['requests_per_sec']:,.0f} req/s, serve "
+        f"{serve['requests_per_sec']:,.0f} req/s"
+    )
+
+
+def test_serve_digest_is_run_to_run_stable():
+    """Two identical cells, two identical byte streams."""
+    a = run_serving_cell(SERVE_POLICY, SERVE_QUICK_LOAD, SERVE_SEED)
+    b = run_serving_cell(SERVE_POLICY, SERVE_QUICK_LOAD, SERVE_SEED)
+    assert a["digest"] == b["digest"]
+    assert a == b
+
+
+def test_policy_shape_holds_at_bench_scale(report):
+    """The paired-study ordering the ISSUE gates, at one bench cell:
+    checkpoint pauses inflate p99 over baseline on the same trace."""
+    from repro.serving import ServingPolicy
+
+    load = ServingLoad(rate=240.0, n_requests=8_000)
+    base = run_serving_cell(ServingPolicy("baseline"), load, SERVE_SEED)
+    ck = run_serving_cell(
+        ServingPolicy("ck", checkpoint=True, interval=1.0), load, SERVE_SEED
+    )
+    inflation = ck["latency"]["p99"] / base["latency"]["p99"] - 1.0
+    report(
+        f"p99 inflation under 1s checkpoint cadence: {inflation * 100:+.1f}% "
+        f"({base['latency']['p99'] * 1e3:.1f} -> "
+        f"{ck['latency']['p99'] * 1e3:.1f} ms)"
+    )
+    assert inflation > 0.05

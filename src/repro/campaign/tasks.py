@@ -23,6 +23,11 @@ Built-in kinds cover the repo's three quantitative workloads:
     One perf scale-scenario run, returning its bit-exactness digests —
     the golden determinism tests' vehicle for proving campaign
     ``--jobs N`` byte-stability.
+``serving_cell``
+    One (policy, trace seed) cell of a paired serving study: an
+    open-loop request stream served from the cluster under one
+    protection policy, returning latency quantiles and loss accounting
+    plus a bit-exact completion digest.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ __all__ = [
     "run_mc_chunk",
     "run_scale_digests",
     "run_study_cell",
+    "run_serving_cell_task",
 ]
 
 
@@ -211,4 +217,23 @@ def run_study_cell(params: dict, seed: int | None) -> dict:
         "method": outcome.method,
         "trace_seed": outcome.seed,
         "result": asdict(outcome.result),
+        "serving": outcome.serving,
     }
+
+
+@register_task("serving_cell", version="1")
+def run_serving_cell_task(params: dict, seed: int | None) -> dict:
+    """One (policy, trace seed) cell of a paired serving study.
+
+    params: policy (:class:`repro.serving.ServingPolicy` fields), load
+    (:class:`repro.serving.ServingLoad` fields), trace_seed.  The cell
+    is a deterministic function of its parameters — identical under any
+    ``--jobs``, which the golden serving digests pin.
+    """
+    from ..serving.study import ServingLoad, ServingPolicy, run_serving_cell
+
+    return run_serving_cell(
+        ServingPolicy(**params["policy"]),
+        ServingLoad(**params["load"]),
+        int(params["trace_seed"]),
+    )

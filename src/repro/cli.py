@@ -28,6 +28,15 @@ bench scale
     Run the thousand-node scale sweep (incremental allocator + COW +
     buffer pool vs the reference paths) and optionally gate against a
     recorded ``BENCH_scale.json`` baseline (``--check``).
+bench serving
+    Serving-path bench: 1.2M-request arrival generation (chunked must
+    equal monolithic bit-for-bit) plus a pinned checkpoint-protected
+    cell, gated against ``BENCH_serving.json`` (``--check``).
+serving run|study
+    Checkpoint-protected request serving: ``run`` serves one open-loop
+    stream under a chosen protection policy (baseline, checkpoint,
+    checkpoint_sla, clone2); ``study`` compares policies over shared
+    arrival+failure traces and prints the tail-latency table.
 controlplane run|drain|status
     Drive the always-on cluster coordinator: ``run`` is the seeded
     churn soak (concurrent provision/kill/drain/query ops under
@@ -399,6 +408,16 @@ def _run_instrumented(args: argparse.Namespace):
 
         run_fig5_campaign(points=args.points, probe=probe)
         return probe
+    if args.scenario == "serving":
+        from .serving.study import ServingLoad, ServingPolicy, run_serving_cell
+
+        run_serving_cell(
+            ServingPolicy("checkpoint", checkpoint=True),
+            ServingLoad(n_requests=20_000, n_nodes=args.nodes,
+                        vms_per_node=args.vms_per_node),
+            args.seed, tracer=probe,
+        )
+        return probe
     if args.scenario == "epoch":
         sc = scaled_scenario(
             args.nodes, args.vms_per_node, seed=args.seed, functional=False,
@@ -437,7 +456,7 @@ def _run_instrumented(args: argparse.Namespace):
 
 def _add_scenario_flags(sp: argparse.ArgumentParser) -> None:
     """What to run under instrumentation — shared by ``trace``/``metrics``."""
-    sp.add_argument("--scenario", choices=["epoch", "job", "fig5"],
+    sp.add_argument("--scenario", choices=["epoch", "job", "fig5", "serving"],
                     default="epoch",
                     help="what to run under instrumentation")
     sp.add_argument("--arch", choices=["dvdc", "diskful"], default="dvdc",
@@ -672,6 +691,128 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
             return 1
         print(f"regression gate passed against {args.check} "
               f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def _serving_load(args: argparse.Namespace):
+    from .serving.study import ServingLoad
+
+    return ServingLoad(
+        rate=args.rate,
+        n_requests=args.requests,
+        service_mean=args.service_mean,
+        service_dist=args.dist,
+        n_nodes=args.nodes,
+        vms_per_node=args.vms_per_node,
+        node_mtbf=args.node_mtbf,
+        repair_time=args.repair,
+        slo_p99=args.slo,
+    )
+
+
+def _cmd_serving_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .serving.study import policies_named, run_serving_cell
+    from .telemetry import Probe, summary_table
+
+    policy = policies_named([args.policy])[0]
+    if args.interval is not None:
+        policy = replace(policy, interval=args.interval)
+    probe = Probe() if args.metrics else None
+    report = run_serving_cell(
+        policy, _serving_load(args), args.seed,
+        tracer=probe if probe is not None else NULL_TRACER,
+    )
+    lat = report["latency"]
+    print(render_table(
+        ["offered", "completed", "lost", "p50 ms", "p95 ms", "p99 ms",
+         "p999 ms", "pauses", "pause s", "failures"],
+        [[
+            report["offered"],
+            report["completed"],
+            report["lost"] + report["lost_unrouted"],
+            f"{lat.get('p50', float('nan')) * 1e3:.1f}",
+            f"{lat.get('p95', float('nan')) * 1e3:.1f}",
+            f"{lat.get('p99', float('nan')) * 1e3:.1f}",
+            f"{lat.get('p999', float('nan')) * 1e3:.1f}",
+            report["pauses"],
+            f"{report['pause_seconds']:.2f}",
+            report["failures"],
+        ]],
+        title=f"serving run: policy {policy.name!r}, seed {args.seed}",
+    ))
+    if "sla" in report:
+        sla = report["sla"]
+        print(f"  SLA: p99 target {sla['slo_p99'] * 1e3:.0f} ms, "
+              f"{sla['breaches']}/{sla['windows']} windows breached, "
+              f"{sla['adjustments']} interval adjustments "
+              f"(final {sla['interval_final']:.2f}s)")
+    if probe is not None:
+        print()
+        print(summary_table(probe.metrics, title="serving telemetry"))
+    return 0 if report["drained"] and not report["unrecoverable"] else 1
+
+
+def _cmd_serving_study(args: argparse.Namespace) -> int:
+    from .serving.study import policies_named, run_serving_study
+
+    outcome, campaign = run_serving_study(
+        policies=policies_named(args.policies),
+        load=_serving_load(args),
+        seeds=args.seeds,
+        **_campaign_kwargs(args),
+    )
+    print(outcome.summary_table())
+    _report_failures(campaign)
+    return 0 if campaign.n_failed == 0 else 1
+
+
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serving.bench import compare_serving_baseline, generate_serving_bench
+
+    result = generate_serving_bench(
+        quick=args.quick,
+        log=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    arr = result["arrivals"]
+    rows = [["arrivals", f"{arr['n_requests']:,}",
+             f"{arr['requests_per_sec']:,.0f}", arr["digest"][:16]]]
+    for leg in ("serve_quick", "serve"):
+        if leg in result:
+            srv = result[leg]
+            rows.append([leg, f"{srv['n_requests']:,}",
+                         f"{srv['requests_per_sec']:,.0f}",
+                         srv["digest"][:16]])
+    print(render_table(
+        ["leg", "requests", "req/s", "digest"],
+        rows,
+        title="serving bench (chunked generation + checkpointed cell)",
+    ))
+    if not arr["chunk_invariant"]:
+        print("FAIL arrival stream is not chunk-invariant", file=sys.stderr)
+        return 1
+    if args.write:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            baseline = _json.load(fh)
+        failures, warnings = compare_serving_baseline(
+            result, baseline, tolerance=args.tolerance
+        )
+        for w in warnings:
+            print(f"WARN {w}", file=sys.stderr)
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"serving gate passed against {args.check} "
+              f"(throughput tolerance {args.tolerance:.0%})")
     return 0
 
 
@@ -1071,6 +1212,77 @@ def build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional regression for --check")
     bs.set_defaults(func=_cmd_bench_scale)
+
+    bv = besub.add_parser(
+        "serving",
+        help="serving-path bench: 1.2M-request arrival generation "
+             "(chunked == monolithic, bit-exact) + a pinned serving cell",
+    )
+    bv.add_argument("--quick", action="store_true",
+                    help="skip the full-size serve cell (CI mode; the "
+                         "arrival leg and quick cell still gate hard)")
+    bv.add_argument("--write", action="store_true",
+                    help="write the result JSON (see --out)")
+    bv.add_argument("--out", default="BENCH_serving.json",
+                    help="output path for --write")
+    bv.add_argument("--check", default=None, metavar="BASELINE",
+                    help="compare against a recorded BENCH_serving.json; "
+                         "exit 1 on any digest/count/quantile change")
+    bv.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional throughput regression "
+                         "(warn-only) for --check")
+    bv.set_defaults(func=_cmd_bench_serving)
+
+    sv = sub.add_parser(
+        "serving",
+        help="checkpoint-protected request serving: one cell or a "
+             "paired policy study",
+    )
+    svsub = sv.add_subparsers(dest="serving_command", required=True)
+
+    def _serving_common(sp) -> None:
+        sp.add_argument("--rate", type=float, default=240.0,
+                        help="open-loop arrival rate, requests/s")
+        sp.add_argument("--requests", type=_positive_int, default=60_000,
+                        help="total requests in the stream")
+        sp.add_argument("--service-mean", type=float, default=0.02,
+                        help="mean PS service demand, seconds")
+        sp.add_argument("--dist", choices=["exponential", "lognormal"],
+                        default="exponential", help="service demand shape")
+        sp.add_argument("--nodes", type=_positive_int, default=4)
+        sp.add_argument("--vms-per-node", type=_positive_int, default=2)
+        sp.add_argument("--node-mtbf", type=float, default=0.0,
+                        help="per-node MTBF, seconds (0 = no crashes)")
+        sp.add_argument("--repair", type=float, default=20.0,
+                        help="node repair time, seconds")
+        sp.add_argument("--slo", type=float, default=0.25,
+                        help="p99 SLO for the SLA controller, seconds")
+
+    sr = svsub.add_parser(
+        "run", help="one serving cell under a chosen protection policy"
+    )
+    _serving_common(sr)
+    sr.add_argument("--policy", default="checkpoint",
+                    choices=["baseline", "checkpoint", "checkpoint_sla",
+                             "clone2"])
+    sr.add_argument("--interval", type=float, default=None,
+                    help="override the policy's checkpoint interval, s")
+    sr.add_argument("--seed", type=int, default=0)
+    sr.add_argument("--metrics", action="store_true",
+                    help="print the telemetry summary table after the run")
+    sr.set_defaults(func=_cmd_serving_run)
+
+    ss = svsub.add_parser(
+        "study",
+        help="paired policy comparison over shared arrival+failure traces",
+    )
+    _serving_common(ss)
+    ss.add_argument("--policies", nargs="+",
+                    default=["baseline", "checkpoint", "checkpoint_sla",
+                             "clone2"])
+    ss.add_argument("--seeds", type=_positive_int, default=3)
+    _add_campaign_flags(ss)
+    ss.set_defaults(func=_cmd_serving_study)
 
     cpl = sub.add_parser(
         "controlplane",

@@ -111,6 +111,9 @@ class JobOutcome:
     method: str
     seed: int
     result: JobResult
+    #: serving-sidecar report (latency quantiles, loss, stalls) when the
+    #: study ran with ``serving=...``; None otherwise
+    serving: dict | None = None
 
 
 @dataclass
@@ -178,6 +181,7 @@ class PairedJobStudy:
         failure_dist: FailureDistribution | None = None,
         functional: bool = True,
         managed: bool = False,
+        serving: dict | None = None,
     ):
         if not methods:
             raise ValueError("need at least one MethodSpec")
@@ -201,6 +205,11 @@ class PairedJobStudy:
         self.vms_per_node = vms_per_node
         self.failure_dist = failure_dist or Exponential(1.0 / node_mtbf)
         self.functional = functional
+        #: serving-sidecar config: ArrivalConfig fields plus optional
+        #: ``clone`` and ``slo_p99``.  Every method cell then serves the
+        #: identical open-loop request trace while the job runs, and the
+        #: cell's JobOutcome carries the serving report.
+        self.serving = dict(serving) if serving else None
 
     def _run_cell(self, spec: MethodSpec, seed: int) -> JobOutcome:
         # RDP needs room for two parity homes off the member nodes
@@ -236,6 +245,9 @@ class PairedJobStudy:
             injector=injector, repair_time=self.repair_time,
             overlap=spec.overlap, controlplane=controlplane,
         )
+        serving = None
+        if self.serving is not None:
+            serving = self._build_serving(sc, ck, injector, job)
         injector.start()
         proc = job.start()
         if controlplane is not None:
@@ -243,7 +255,35 @@ class PairedJobStudy:
         sc.sim.run(until=self.work * 100)
         if proc.ok is False:
             raise proc.value
-        return JobOutcome(method=spec.display, seed=seed, result=job.result)
+        return JobOutcome(
+            method=spec.display, seed=seed, result=job.result,
+            serving=serving.report() if serving is not None else None,
+        )
+
+    def _build_serving(self, sc, ck, injector, job):
+        """Attach a serving sidecar: the job owns checkpoint cadence and
+        recovery; the sidecar serves traffic through those disruptions."""
+        from .serving.arrivals import ArrivalConfig, OpenLoopArrivals
+        from .serving.controller import SLAController
+        from .serving.runtime import ServingRuntime
+
+        cfg = dict(self.serving)
+        clone = int(cfg.pop("clone", 1))
+        slo_p99 = cfg.pop("slo_p99", None)
+        runtime = ServingRuntime(
+            sc,
+            OpenLoopArrivals(ArrivalConfig(**cfg), sc.rngs),
+            checkpointer=ck,
+            injector=injector,
+            job=job,
+            repair_time=self.repair_time,
+            clone=clone,
+        )
+        if slo_p99 is not None:
+            # steer the *job's* checkpoint interval against the SLO
+            runtime.controller = SLAController(job, float(slo_p99))
+        runtime.start()
+        return runtime
 
     def run(self) -> StudyOutcome:
         outcome = StudyOutcome(work=self.work)

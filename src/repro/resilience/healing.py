@@ -170,6 +170,10 @@ class SelfHealer:
         self.degraded_since: float | None = None
         #: closed vulnerability windows, (start, end) sim seconds
         self.windows: list[tuple[float, float]] = []
+        #: per-group open window starts (group id -> sim seconds)
+        self._group_degraded_since: dict[int, float] = {}
+        #: per-group closed windows (group id -> [(start, end), ...])
+        self.group_windows: dict[int, list[tuple[float, float]]] = {}
 
     # ------------------------------------------------------------------
     # assessment
@@ -194,12 +198,57 @@ class SelfHealer:
                 )
         return out
 
+    def degraded_groups(self) -> list[int]:
+        """Group ids currently lacking full single-failure protection.
+
+        Structural test per group: parity node alive and holding the
+        parity block, every member VM placed, no member sharing a node
+        with another member or with the parity.  With nothing committed
+        yet, every group is exposed.
+        """
+        if self.ck.committed_epoch < 0:
+            return [g.group_id for g in self.ck.layout.groups]
+        out = []
+        for g in self.ck.layout.groups:
+            pnode = self.cluster.node(g.parity_node)
+            if not pnode.alive or g.group_id not in pnode.parity_store:
+                out.append(g.group_id)
+                continue
+            seen: set[int] = set()
+            for v in g.member_vm_ids:
+                node = self.cluster.vm(v).node_id
+                if node is None or node == g.parity_node or node in seen:
+                    out.append(g.group_id)
+                    break
+                seen.add(node)
+        return out
+
+    def _sync_group_windows(self, now: float) -> None:
+        """Open/close per-group windows against the structural state.
+
+        Closing observes ``repro_degraded_window_seconds{group=...}`` —
+        the same family as the aggregate label-less series, so brownout
+        cost is attributable to the parity group that was exposed.
+        """
+        degraded = set(self.degraded_groups())
+        for gid in sorted(degraded):
+            self._group_degraded_since.setdefault(gid, now)
+        for gid in sorted(set(self._group_degraded_since) - degraded):
+            start = self._group_degraded_since.pop(gid)
+            self.group_windows.setdefault(gid, []).append((start, now))
+            self.probe.observe(
+                "repro_degraded_window_seconds", now - start,
+                help="Time spent without full single-failure protection",
+                group=str(gid),
+            )
+
     def assess(self) -> tuple[ClusterHealth, list[str]]:
         """Re-evaluate protection state; closes the vulnerability window
         (and observes the histogram) on the transition back to PROTECTED.
         """
         found = self.issues()
         now = self.cluster.sim.now
+        self._sync_group_windows(now)
         if found:
             if self.degraded_since is None:
                 self.degraded_since = now
@@ -238,6 +287,7 @@ class SelfHealer:
         :class:`~repro.failures.injector.FailureInjector`."""
         if self.degraded_since is None:
             self.degraded_since = self.cluster.sim.now
+        self._sync_group_windows(self.cluster.sim.now)
         self._transition(ClusterHealth.DEGRADED)
 
     @property

@@ -1,0 +1,46 @@
+"""Checkpoint-protected request serving over the simulated cluster.
+
+The subsystem that models what the cluster's disruptions *cost a user*:
+VMs host request-serving replicas fed by seeded open-loop arrival
+streams (:mod:`repro.serving.arrivals`), served under exact
+processor-sharing via lazy virtual-time servers
+(:mod:`repro.serving.engine`), driven through real checkpoint pause
+windows, crashes, and recoveries by :mod:`repro.serving.runtime`, with
+request cloning and an SLA-driven checkpoint controller
+(:mod:`repro.serving.controller`) as the two tail-latency levers the
+paired study (:mod:`repro.serving.study`) compares.
+"""
+
+from .arrivals import ArrivalChunk, ArrivalConfig, OpenLoopArrivals
+from .controller import SLAController
+from .engine import PSServer, ServingEngine
+from .runtime import ServingRuntime, build_servers
+from .study import (
+    DEFAULT_POLICIES,
+    ServingLoad,
+    ServingPolicy,
+    ServingStudyOutcome,
+    policies_named,
+    run_serving_cell,
+    run_serving_study,
+    serving_sweep,
+)
+
+__all__ = [
+    "ArrivalChunk",
+    "ArrivalConfig",
+    "OpenLoopArrivals",
+    "PSServer",
+    "ServingEngine",
+    "ServingRuntime",
+    "build_servers",
+    "SLAController",
+    "ServingLoad",
+    "ServingPolicy",
+    "ServingStudyOutcome",
+    "DEFAULT_POLICIES",
+    "policies_named",
+    "run_serving_cell",
+    "run_serving_study",
+    "serving_sweep",
+]

@@ -1,0 +1,158 @@
+"""BENCH-SERVING — throughput and bit-exactness of the serving path.
+
+Two legs, mirroring what the ISSUE gates:
+
+* **arrivals** — generate and digest a >= 1.2M-request open-loop stream
+  twice, chunked (64Ki batches) and monolithic (one draw).  The digests
+  must be bit-identical (hard gate: chunk boundaries are a pure batch
+  size knob), and the chunked generation rate is recorded so a
+  vectorization regression shows up in history (warn-only: absolute
+  req/s is hardware-dependent).
+* **serve** — one fixed checkpoint-protected serving cell.  Counts,
+  exact latency quantiles, and the completion digest are all
+  deterministic functions of the seed, so they gate *hard* against the
+  baseline; the serve rate (requests simulated per wall second) warns.
+
+:func:`generate_serving_bench` produces the JSON-able result;
+:func:`compare_serving_baseline` diffs it against a pinned
+``BENCH_serving.json`` and returns ``(failures, warnings)`` in the same
+shape :func:`repro.perf.compare_to_baseline` uses for the scale bench.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..sim.rng import RngRegistry
+from .arrivals import ArrivalConfig, OpenLoopArrivals, stream_digest
+from .study import ServingLoad, ServingPolicy, run_serving_cell
+
+__all__ = ["generate_serving_bench", "compare_serving_baseline"]
+
+#: Arrival-leg stream size — the ISSUE floor is one million per run.
+ARRIVAL_REQUESTS = 1_200_000
+ARRIVAL_RATE = 1_000.0
+ARRIVAL_CHUNK = 65_536
+
+#: Serve-leg cell: fixed forever — the baseline pins its exact output.
+SERVE_POLICY = ServingPolicy("checkpoint", checkpoint=True)
+SERVE_LOAD = ServingLoad(rate=240.0, n_requests=30_000)
+SERVE_QUICK_LOAD = ServingLoad(rate=240.0, n_requests=8_000)
+SERVE_SEED = 0
+
+#: Result keys that must match the baseline bit-for-bit.
+_HARD_KEYS_ARRIVALS = ("n_requests", "digest")
+_HARD_KEYS_SERVE = (
+    "n_requests", "offered", "completed", "lost", "lost_unrouted",
+    "digest", "p50", "p99",
+)
+
+
+def _arrival_leg(log) -> dict:
+    def build(chunk: int) -> OpenLoopArrivals:
+        return OpenLoopArrivals(
+            ArrivalConfig(
+                rate=ARRIVAL_RATE,
+                n_requests=ARRIVAL_REQUESTS,
+                chunk_requests=chunk,
+            ),
+            RngRegistry(SERVE_SEED),
+        )
+
+    t0 = time.perf_counter()
+    chunked = stream_digest(build(ARRIVAL_CHUNK))
+    elapsed = time.perf_counter() - t0
+    monolithic = stream_digest(build(ARRIVAL_REQUESTS))
+    log(f"arrivals: {ARRIVAL_REQUESTS:,} requests, "
+        f"{ARRIVAL_REQUESTS / elapsed:,.0f} req/s chunked, "
+        f"monolithic match: {chunked == monolithic}")
+    return {
+        "n_requests": ARRIVAL_REQUESTS,
+        "chunk_requests": ARRIVAL_CHUNK,
+        "digest": chunked,
+        "monolithic_digest": monolithic,
+        "chunk_invariant": chunked == monolithic,
+        "requests_per_sec": round(ARRIVAL_REQUESTS / elapsed, 1),
+    }
+
+
+def _serve_leg(load: ServingLoad, log) -> dict:
+    t0 = time.perf_counter()
+    report = run_serving_cell(SERVE_POLICY, load, SERVE_SEED)
+    elapsed = time.perf_counter() - t0
+    log(f"serve: {load.n_requests:,} requests in {elapsed:.2f}s "
+        f"({load.n_requests / elapsed:,.0f} req/s), "
+        f"p99 {report['latency']['p99'] * 1e3:.1f} ms")
+    return {
+        "n_requests": load.n_requests,
+        "offered": report["offered"],
+        "completed": report["completed"],
+        "lost": report["lost"],
+        "lost_unrouted": report["lost_unrouted"],
+        "digest": report["digest"],
+        "p50": report["latency"]["p50"],
+        "p99": report["latency"]["p99"],
+        "pauses": report["pauses"],
+        "requests_per_sec": round(load.n_requests / elapsed, 1),
+    }
+
+
+def generate_serving_bench(quick: bool = False, log=None) -> dict:
+    """Run the bench; ``quick`` skips only the *full-size* serve cell.
+
+    The arrival leg (full 1.2M-request contract) and the quick serve
+    cell always run, so a ``--quick`` CI pass still hard-gates both
+    digests against the baseline.
+    """
+    log = log or (lambda msg: None)
+    out = {
+        "quick": bool(quick),
+        "arrivals": _arrival_leg(log),
+        "serve_quick": _serve_leg(SERVE_QUICK_LOAD, log),
+    }
+    if not quick:
+        out["serve"] = _serve_leg(SERVE_LOAD, log)
+    return out
+
+
+def compare_serving_baseline(
+    result: dict, baseline: dict, tolerance: float = 0.3
+) -> tuple[list[str], list[str]]:
+    """Diff a fresh result against the pinned baseline.
+
+    Hard failures: any bit-exact key (digests, counts, exact quantiles)
+    differing, or chunked != monolithic within the fresh run itself.
+    Warnings: throughput below ``(1 - tolerance) ×`` baseline.
+    """
+    failures: list[str] = []
+    warnings: list[str] = []
+    if not result["arrivals"]["chunk_invariant"]:
+        failures.append(
+            "arrival stream is NOT chunk-invariant: chunked digest "
+            f"{result['arrivals']['digest']} != monolithic "
+            f"{result['arrivals']['monolithic_digest']}"
+        )
+    for leg, hard_keys in (
+        ("arrivals", _HARD_KEYS_ARRIVALS),
+        ("serve_quick", _HARD_KEYS_SERVE),
+        ("serve", _HARD_KEYS_SERVE),
+    ):
+        if leg == "serve" and ("serve" not in result or "serve" not in baseline):
+            continue  # quick run and/or quick baseline: leg absent
+        fresh, pinned = result[leg], baseline.get(leg, {})
+        for key in hard_keys:
+            if key not in pinned:
+                failures.append(f"{leg}: baseline is missing {key!r}")
+            elif fresh[key] != pinned[key]:
+                failures.append(
+                    f"{leg}: {key} changed — baseline {pinned[key]!r}, "
+                    f"run {fresh[key]!r}"
+                )
+        floor = pinned.get("requests_per_sec")
+        if floor and fresh["requests_per_sec"] < floor * (1.0 - tolerance):
+            warnings.append(
+                f"{leg}: {fresh['requests_per_sec']:,.0f} req/s is "
+                f"{(1 - fresh['requests_per_sec'] / floor) * 100:.0f}% "
+                f"below baseline {floor:,.0f} (hardware-dependent)"
+            )
+    return failures, warnings

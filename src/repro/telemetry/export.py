@@ -94,6 +94,16 @@ def prometheus_text(registry: "MetricsRegistry") -> str:
                 lines.append(
                     f"{fam.name}_count{_fmt_labels(labels)} {series.count}"
                 )
+                # streaming P² estimates as summary-style quantile
+                # samples on the bare family name (skipped while empty)
+                for q, v in series.quantiles().items():
+                    if math.isnan(v):
+                        continue
+                    ql = dict(labels)
+                    ql["quantile"] = _fmt_value(q)
+                    lines.append(
+                        f"{fam.name}{_fmt_labels(ql)} {_fmt_value(v)}"
+                    )
     return "\n".join(lines) + "\n"
 
 
@@ -238,27 +248,33 @@ def summary_table(registry: "MetricsRegistry", title: str = "telemetry") -> str:
             label_txt = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
             if fam.kind == "counter":
                 rows.append([fam.name, label_txt, _fmt_value(series.value),
-                             "", "", ""])
+                             "", "", "", "", ""])
             elif fam.kind == "gauge":
                 peak = "" if math.isinf(series.max_value) else _fmt_value(
                     series.max_value
                 )
                 rows.append([fam.name, label_txt, _fmt_value(series.value),
-                             peak, "", ""])
+                             peak, "", "", "", ""])
             else:
                 qs = series.quantiles()
-                q50 = qs.get(0.5, math.nan)
-                q99 = qs.get(0.99, math.nan)
+
+                def _q(q: float) -> str:
+                    v = qs.get(q, math.nan)
+                    return "" if math.isnan(v) else f"{v:.4g}"
+
                 rows.append([
                     fam.name,
                     label_txt,
                     str(series.count),
                     "" if math.isinf(series.max) else f"{series.max:.4g}",
-                    "" if math.isnan(q50) else f"{q50:.4g}",
-                    "" if math.isnan(q99) else f"{q99:.4g}",
+                    _q(0.5),
+                    _q(0.95),
+                    _q(0.99),
+                    _q(0.999),
                 ])
     return render_table(
-        ["metric", "labels", "value/count", "peak/max", "q50", "q99"],
+        ["metric", "labels", "value/count", "peak/max",
+         "q50", "q95", "q99", "q999"],
         rows,
         title=title,
     )

@@ -23,6 +23,8 @@ import math
 import re
 from typing import Iterator
 
+import numpy as np
+
 __all__ = [
     "MetricError",
     "Counter",
@@ -175,7 +177,10 @@ class Gauge:
 class Histogram:
     """Fixed cumulative buckets + streaming quantiles + sum/count."""
 
-    __slots__ = ("buckets", "counts", "sum", "count", "min", "max", "_quantiles")
+    __slots__ = (
+        "buckets", "counts", "sum", "count", "min", "max",
+        "_quantiles", "_bounds",
+    )
 
     def __init__(
         self,
@@ -194,6 +199,7 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._quantiles = {q: P2Quantile(q) for q in quantiles}
+        self._bounds = np.asarray(bounds, dtype=np.float64)
 
     def observe(self, v: float) -> None:
         v = float(v)
@@ -213,6 +219,40 @@ class Histogram:
         self.counts[i] += 1
         for est in self._quantiles.values():
             est.add(v)
+
+    def observe_batch(self, values) -> None:
+        """Observe a whole array at once (vectorized bucket counting).
+
+        Buckets, count, min/max, and the P² estimators update exactly as
+        a sequential :meth:`observe` loop would.  ``sum`` uses numpy's
+        pairwise summation, so it can differ from the sequential sum in
+        the last float bits — consumers needing bit-identical digests
+        should pin the sample arrays or the P² marker state, not the
+        histogram sum.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        if np.isnan(arr).any():
+            raise MetricError("cannot observe NaN")
+        # searchsorted(side="left") = first bound with v <= bound, the
+        # same rule as the scalar path's linear scan
+        idx = np.searchsorted(self._bounds, arr, side="left")
+        for i, c in enumerate(np.bincount(idx, minlength=len(self.counts))):
+            if c:
+                self.counts[i] += int(c)
+        self.sum += float(arr.sum())
+        self.count += int(arr.size)
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        for est in self._quantiles.values():
+            add = est.add
+            for v in arr.tolist():
+                add(v)
 
     @property
     def mean(self) -> float:

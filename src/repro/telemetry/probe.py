@@ -80,10 +80,22 @@ class Probe(Tracer):
 
     def observe(self, name: str, value: float, help: str = "",
                 buckets: tuple[float, ...] | None = None,
+                quantiles: tuple[float, ...] | None = None,
                 **labels: object) -> None:
         if self.enabled:
-            self.metrics.histogram(name, help, buckets=buckets)\
+            self.metrics.histogram(name, help, buckets=buckets,
+                                   quantiles=quantiles)\
                 .labels(**labels).observe(value)
+
+    def observe_batch(self, name: str, values, help: str = "",
+                      buckets: tuple[float, ...] | None = None,
+                      quantiles: tuple[float, ...] | None = None,
+                      **labels: object) -> None:
+        """Histogram-observe a whole array in one vectorized pass."""
+        if self.enabled:
+            self.metrics.histogram(name, help, buckets=buckets,
+                                   quantiles=quantiles)\
+                .labels(**labels).observe_batch(values)
 
     # ------------------------------------------------------------------
     # span helpers
@@ -159,7 +171,14 @@ class _NullProbe(Probe):
 
     def observe(self, name: str, value: float, help: str = "",
                 buckets: tuple[float, ...] | None = None,
+                quantiles: tuple[float, ...] | None = None,
                 **labels: object) -> None:
+        pass
+
+    def observe_batch(self, name: str, values, help: str = "",
+                      buckets: tuple[float, ...] | None = None,
+                      quantiles: tuple[float, ...] | None = None,
+                      **labels: object) -> None:
         pass
 
     def span_begin(self, name: str, sim_time: float, track: str = "sim",

@@ -145,10 +145,17 @@ class TestSelfHealer:
         assert healer.windows and healer.last_window_seconds == pytest.approx(
             report.window_seconds
         )
-        # window telemetry: one histogram observation of that exact width
+        # window telemetry: one aggregate observation of that exact
+        # width, plus per-group attribution for the exposed groups
         snap = probe.metrics.snapshot()
         fam = snap["repro_degraded_window_seconds"]
-        assert sum(s["count"] for s in fam["series"]) == 1
+        assert sum(
+            s["count"] for s in fam["series"] if not s["labels"]
+        ) == 1
+        grouped = [s for s in fam["series"] if "group" in s["labels"]]
+        assert grouped and all(s["count"] >= 1 for s in grouped)
+        assert healer.group_windows
+        assert not healer._group_degraded_since  # all windows closed
         # and PROTECTED is real: the strict auditor agrees
         auditor = Auditor(cluster, ck.layout)
         assert auditor.run(ck.committed_epoch, strict=True).ok

@@ -1,0 +1,183 @@
+"""Serving determinism: chunking is a batch-size knob, nothing more.
+
+The ISSUE's hard contract: arrival generation and the full serving
+sweep are *bit-identical* under any ``chunk_requests``, across repeated
+runs, and across campaign worker fan-out.  A golden file
+(``tests/golden/serving.json``) pins the digests of a fixed crashy
+checkpoint-protected cell so any engine change that moves a single
+completion byte fails here with the digest that moved.
+
+Regenerate after an *intentional* behavior change with::
+
+    PYTHONPATH=src python tests/test_serving_determinism.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ArrivalConfig,
+    OpenLoopArrivals,
+    ServingLoad,
+    ServingPolicy,
+    run_serving_cell,
+)
+from repro.serving.arrivals import stream_digest
+from repro.sim import RngRegistry
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "serving.json"
+
+#: The pinned cell: crash injection ON, checkpoint pauses ON — the
+#: digest covers sheds, redirects, stalls, and recovery reroutes.
+GOLDEN_LOAD = ServingLoad(n_requests=6000, node_mtbf=60.0)
+GOLDEN_POLICIES = (
+    ServingPolicy("baseline"),
+    ServingPolicy("checkpoint", checkpoint=True, interval=1.0),
+    ServingPolicy("clone2", clone=2),
+)
+GOLDEN_SEED = 0
+
+_CELL_KEYS = ("digest", "offered", "completed", "lost", "lost_unrouted")
+
+
+def _golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _cell_pin(policy: ServingPolicy) -> dict:
+    rep = run_serving_cell(policy, GOLDEN_LOAD, GOLDEN_SEED)
+    pin = {k: rep[k] for k in _CELL_KEYS}
+    pin["p50"] = rep["latency"]["p50"]
+    pin["p99"] = rep["latency"]["p99"]
+    return pin
+
+
+def _generate_golden() -> dict:
+    cfg = ArrivalConfig(n_requests=100_000)
+    return {
+        "_regen": "PYTHONPATH=src python tests/test_serving_determinism.py --regen",
+        "load": asdict(GOLDEN_LOAD),
+        "seed": GOLDEN_SEED,
+        "stream_digest": stream_digest(
+            OpenLoopArrivals(cfg, RngRegistry(GOLDEN_SEED))
+        ),
+        "cells": {p.name: _cell_pin(p) for p in GOLDEN_POLICIES},
+    }
+
+
+# ---------------------------------------------------------------------------
+# arrival-stream chunk invariance
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("chunk", [1, 7, 256, 4096, 100_000])
+def test_stream_digest_is_chunk_invariant(chunk):
+    cfg = ArrivalConfig(n_requests=10_000, chunk_requests=chunk)
+    mono = ArrivalConfig(n_requests=10_000, chunk_requests=10_000)
+    assert stream_digest(
+        OpenLoopArrivals(cfg, RngRegistry(42))
+    ) == stream_digest(OpenLoopArrivals(mono, RngRegistry(42)))
+
+
+def test_stream_values_are_chunk_invariant_not_just_digests():
+    """The arrays themselves match element-wise, including the carry
+    across every chunk boundary (IEEE-754 partial sums)."""
+    def arrays(chunk):
+        cfg = ArrivalConfig(n_requests=10_000, chunk_requests=chunk)
+        chunks = list(OpenLoopArrivals(cfg, RngRegistry(9)).chunks())
+        return (
+            np.concatenate([c.times for c in chunks]),
+            np.concatenate([c.service for c in chunks]),
+        )
+
+    t_small, s_small = arrays(113)
+    t_mono, s_mono = arrays(10_000)
+    np.testing.assert_array_equal(t_small, t_mono)
+    np.testing.assert_array_equal(s_small, s_mono)
+
+
+def test_stream_replay_is_exact():
+    """Same registry seed + prefix => the identical trace, which is how
+    paired-study policies share one arrival stream."""
+    cfg = ArrivalConfig(n_requests=5000)
+    a = stream_digest(OpenLoopArrivals(cfg, RngRegistry(3)))
+    b = stream_digest(OpenLoopArrivals(cfg, RngRegistry(3)))
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# full-cell chunk invariance (the engine sweep contract)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("policy", GOLDEN_POLICIES, ids=lambda p: p.name)
+def test_cell_report_is_chunk_invariant(policy):
+    """The *entire report* — digest, counts, exact quantiles, degraded
+    attribution — is identical under wildly different chunkings."""
+    def run(chunk):
+        load = ServingLoad(
+            n_requests=6000, node_mtbf=60.0, chunk_requests=chunk
+        )
+        return run_serving_cell(policy, load, GOLDEN_SEED)
+
+    reports = [run(c) for c in (251, 2048, 6000)]
+    assert reports[0] == reports[1] == reports[2]
+
+
+# ---------------------------------------------------------------------------
+# pinned golden digests
+# ---------------------------------------------------------------------------
+def test_golden_file_matches_config():
+    assert _golden()["load"] == asdict(GOLDEN_LOAD)
+    assert _golden()["seed"] == GOLDEN_SEED
+
+
+def test_stream_digest_matches_golden():
+    cfg = ArrivalConfig(n_requests=100_000)
+    assert stream_digest(
+        OpenLoopArrivals(cfg, RngRegistry(GOLDEN_SEED))
+    ) == _golden()["stream_digest"]
+
+
+@pytest.mark.parametrize("policy", GOLDEN_POLICIES, ids=lambda p: p.name)
+def test_cell_matches_golden(policy):
+    assert _cell_pin(policy) == _golden()["cells"][policy.name]
+
+
+# ---------------------------------------------------------------------------
+# campaign --jobs byte-stability
+# ---------------------------------------------------------------------------
+def _campaign_values(jobs: int) -> list[dict]:
+    from repro.campaign import CampaignRunner, Task
+
+    tasks = [
+        Task(
+            kind="serving_cell",
+            params={
+                "policy": asdict(p),
+                "load": asdict(ServingLoad(n_requests=3000, node_mtbf=60.0)),
+                "trace_seed": seed,
+            },
+        )
+        for p in GOLDEN_POLICIES
+        for seed in (0, 1)
+    ]
+    result = CampaignRunner(jobs=jobs).run(tasks)
+    assert result.n_failed == 0, [r.error for r in result.failures()]
+    return [run.value for run in result.runs]
+
+
+def test_campaign_jobs_1_vs_4_byte_stable():
+    """Worker fan-out must not perturb a single serving byte."""
+    assert _campaign_values(jobs=1) == _campaign_values(jobs=4)
+
+
+if __name__ == "__main__":
+    if "--regen" not in sys.argv:
+        sys.exit("usage: python tests/test_serving_determinism.py --regen")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(_generate_golden(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

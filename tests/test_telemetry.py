@@ -428,3 +428,94 @@ class TestInstrumentedRun:
         assert fired == [1]
         snap = p.metrics.snapshot()
         assert snap["repro_sim_events_total"]["series"][0]["value"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# vectorized observation + P² export (serving satellites)
+class TestObserveBatch:
+    def test_batch_equals_sequential_exactly(self):
+        """observe_batch must leave *identical* state to a sequential
+        observe loop: buckets, count, min/max, and every P² marker."""
+        rng = np.random.default_rng(4)
+        values = rng.exponential(0.1, 5000)
+        a = Histogram(buckets=(0.05, 0.1, 0.5, 1.0))
+        b = Histogram(buckets=(0.05, 0.1, 0.5, 1.0))
+        for v in values:
+            a.observe(float(v))
+        b.observe_batch(values)
+        assert a.counts == b.counts
+        assert a.count == b.count
+        assert a.min == b.min and a.max == b.max
+        assert a.quantiles() == b.quantiles()  # P² state bit-equal
+
+    def test_batch_empty_is_noop(self):
+        h = Histogram()
+        h.observe_batch(np.empty(0))
+        assert h.count == 0
+
+    def test_batch_rejects_nan(self):
+        h = Histogram()
+        with pytest.raises(MetricError, match="NaN"):
+            h.observe_batch(np.array([0.1, math.nan]))
+        assert h.count == 0  # rejected atomically, nothing recorded
+
+    def test_probe_observe_batch_routes_labels_and_quantiles(self):
+        p = Probe()
+        p.observe_batch(
+            "repro_req_seconds", np.array([0.01, 0.2, 0.9]),
+            quantiles=(0.5, 0.99), policy="baseline",
+        )
+        snap = p.metrics.snapshot()
+        series = snap["repro_req_seconds"]["series"][0]
+        assert series["labels"] == {"policy": "baseline"}
+        assert series["count"] == 3
+        assert set(series["quantiles"]) == {"0.5", "0.99"}
+
+    def test_null_probe_observe_batch_inert(self):
+        NULL_PROBE.observe_batch("repro_x_seconds", np.array([1.0]))
+        assert NULL_PROBE.metrics.snapshot() == {}
+
+
+class TestQuantileExport:
+    def _registry(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_lat_seconds", "latency", buckets=(0.1, 1.0),
+            quantiles=(0.5, 0.99),
+        )
+        s = h.labels(policy="ck")
+        s.observe_batch(np.linspace(0.01, 2.0, 500))
+        return reg
+
+    def test_prometheus_text_carries_quantile_samples(self):
+        text = prometheus_text(self._registry())
+        parsed = parse_prometheus_text(text)
+        samples = parsed["repro_lat_seconds"]["samples"]
+        q = {
+            lb["quantile"]: v for n, lb, v in samples
+            if n == "repro_lat_seconds" and "quantile" in lb
+        }
+        assert set(q) == {"0.5", "0.99"}
+        # P² estimates of a uniform ramp on (0.01, 2.0)
+        assert q["0.5"] == pytest.approx(1.0, rel=0.1)
+        assert q["0.99"] == pytest.approx(1.98, rel=0.05)
+        # the quantile samples keep the series labels too
+        labels = [lb for n, lb, _ in samples
+                  if n == "repro_lat_seconds" and "quantile" in lb]
+        assert all(lb["policy"] == "ck" for lb in labels)
+
+    def test_nan_quantiles_are_skipped(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_empty_seconds", "e").labels()  # no samples
+        text = prometheus_text(reg)
+        assert "quantile" not in text
+        assert "NaN" not in text
+
+    def test_summary_table_has_quantile_columns(self):
+        table = summary_table(self._registry())
+        header = table.splitlines()[0] if "metric" in table.splitlines()[0] \
+            else table.splitlines()[1]
+        for col in ("q50", "q95", "q99", "q999"):
+            assert col in header
+        # the estimated median shows up as a rendered number
+        assert any("1.0" in line for line in table.splitlines())
