@@ -1,11 +1,12 @@
-"""Thousand-node scale benchmark: DVDC epochs on the optimized hot paths.
+"""Ten-thousand-node scale benchmark: DVDC epochs on the optimized hot paths.
 
 Times the canonical scale scenario (:mod:`repro.perf.scale`) at 64, 256,
-and 1024 nodes with the incremental fluid-flow allocator + COW snapshots
-+ buffer pool, against the pre-optimization reference allocator, and
-writes ``BENCH_scale.json`` at the repo root.  The reference allocator is
-intractably slow at 1024 nodes, so above 64 nodes it is measured over a
-capped wall-clock window and its epoch throughput derived from the
+1024, 4096, and 10240 nodes with the calendar-queue event engine +
+incremental fluid-flow allocator + COW snapshots + buffer pool, against
+the pre-optimization reference allocator, and writes ``BENCH_scale.json``
+at the repo root.  The reference allocator is intractably slow at 1024
+nodes and beyond, so above 64 nodes it is measured over a capped
+wall-clock window and its epoch throughput derived from the
 (bit-identical) events-per-epoch of the incremental run.
 
 Run with::
@@ -72,20 +73,25 @@ def test_heap_cancel_bench_bounded(benchmark, report):
 
 @pytest.mark.slow
 def test_write_bench_scale_report(report):
-    """Full 64/256/1024 sweep; writes ``BENCH_scale.json``."""
+    """Full 64/256/1024/4096/10240 sweep; writes ``BENCH_scale.json``."""
     result = generate_bench(quick=False, log=print)
     BENCH_REPORT.write_text(json.dumps(result, indent=2) + "\n")
     by_nodes = {p["n_nodes"]: p for p in result["points"]}
-    assert set(by_nodes) == {64, 256, 1024}
-    # the PR's acceptance bar: >= 5x epoch throughput at 1024 nodes
+    assert set(by_nodes) == {64, 256, 1024, 4096, 10240}
+    # the acceptance bar: >= 5x epoch throughput at 1024 nodes, and the
+    # calendar queue must keep throughput near-flat out to 10k nodes
+    # (within 3x of the 64-node point — heap-based scheduling degrades
+    # far worse than that here)
     p1024 = by_nodes[1024]
     assert p1024["speedup_vs_reference"] >= 5.0
+    ratio_10k = by_nodes[10240]["events_per_sec"] / by_nodes[64]["events_per_sec"]
+    assert ratio_10k > 1 / 3, f"throughput collapsed at 10k nodes: {ratio_10k:.2f}"
     lines = [f"\n[scale sweep] wrote {BENCH_REPORT.name}"]
     for n in sorted(by_nodes):
         p = by_nodes[n]
         capped = " (reference wall-capped)" if p["reference_capped"] else ""
         lines.append(
-            f"  {n:>4} nodes / {p['n_vms']} VMs: "
+            f"  {n:>5} nodes / {p['n_vms']} VMs: "
             f"{p['events_per_sec']:,.0f} ev/s, "
             f"{p['speedup_vs_reference']:.1f}x vs reference{capped}, "
             f"peak RSS {p['peak_rss_bytes'] / 1e6:.0f}MB"

@@ -38,6 +38,16 @@ from .runner import (
     execute_task,
     execute_task_batch,
 )
+from .shm import (
+    SHM_AVAILABLE,
+    ShmArrayRef,
+    extract_arrays,
+    has_arrays,
+    load_array,
+    restore_arrays,
+    share_array,
+    strip_arrays,
+)
 from .spec import Sweep, Task, canonical_json, task_key
 from .store import ResultStore
 from .tasks import TaskKind, get_kind, register_task, task_kinds
@@ -68,4 +78,12 @@ __all__ = [
     "fig5_series_from_values",
     "mc_estimate_from_values",
     "study_outcome_from_values",
+    "SHM_AVAILABLE",
+    "ShmArrayRef",
+    "share_array",
+    "load_array",
+    "extract_arrays",
+    "restore_arrays",
+    "strip_arrays",
+    "has_arrays",
 ]

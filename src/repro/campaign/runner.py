@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..telemetry import NULL_PROBE, Probe
+from . import shm
 from .spec import Task
 from .store import ResultStore
 from .tasks import get_kind
@@ -41,17 +42,24 @@ __all__ = [
 ]
 
 
-def execute_task(task_dict: dict) -> dict:
+def execute_task(task_dict: dict, share_arrays: bool = False) -> dict:
     """Run one task in the current process; never raises.
 
     Top-level (hence picklable) worker entry point.  Returns
     ``{"ok": bool, "value": dict|None, "error": str|None, "elapsed": s}``.
+
+    With ``share_arrays=True`` (the pool path), ndarray leaves of the
+    result value are published into shared memory and replaced by
+    pipe-sized markers (:mod:`repro.campaign.shm`), so page arrays never
+    cross the worker→coordinator pickle channel.
     """
     start = time.perf_counter()
     try:
         task = Task.from_dict(task_dict)
         kind = get_kind(task.kind)
         value = kind.fn(task.params, task.seed)
+        if share_arrays:
+            value = shm.extract_arrays(value)
         return {
             "ok": True,
             "value": value,
@@ -67,7 +75,7 @@ def execute_task(task_dict: dict) -> dict:
         }
 
 
-def execute_task_batch(task_dicts: list[dict]) -> list[dict]:
+def execute_task_batch(task_dicts: list[dict], share_arrays: bool = False) -> list[dict]:
     """Run a contiguous batch of tasks in the current process.
 
     One pool submission per *batch* instead of per task: pickling and
@@ -77,7 +85,7 @@ def execute_task_batch(task_dicts: list[dict]) -> list[dict]:
     through :func:`execute_task`, so isolation and per-task seeding are
     unchanged.
     """
-    return [execute_task(td) for td in task_dicts]
+    return [execute_task(td, share_arrays) for td in task_dicts]
 
 
 @dataclass(frozen=True)
@@ -204,15 +212,24 @@ class CampaignRunner:
                 raws = [execute_task(tasks[i].to_dict()) for i in pending]
             else:
                 batches = self._chunk(pending, self.jobs)
+                share = shm.SHM_AVAILABLE
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                     futures = [
                         pool.submit(
                             execute_task_batch,
                             [tasks[i].to_dict() for i in batch],
+                            share,
                         )
                         for batch in batches
                     ]
                     raws = [raw for f in futures for raw in f.result()]
+                if share:
+                    # re-inflate shared-memory markers into real arrays;
+                    # each segment is copied out once and unlinked here,
+                    # so no shm state survives collection
+                    for raw in raws:
+                        if raw["value"] is not None:
+                            raw["value"] = shm.restore_arrays(raw["value"])
             for i, raw in zip(pending, raws):
                 outcomes[i] = TaskRun(
                     task=tasks[i],

@@ -1,0 +1,205 @@
+"""Zero-copy array transport for campaign workers.
+
+Task kinds that produce page arrays (checkpoint images, parity bytes)
+used to ship them back to the coordinator through the process pool's
+pickle channel: every byte was serialized in the worker, copied through
+a pipe, and deserialized in the coordinator before the
+:class:`~repro.campaign.store.ResultStore` ever saw the record.  For
+image-sized payloads the pickle round-trip dominates task runtime.
+
+This module moves the bytes through POSIX shared memory instead:
+
+* the **worker** publishes each ndarray into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment and
+  replaces it in the result dict with a tiny :class:`ShmArrayRef`
+  marker (:func:`extract_arrays`) — only the marker crosses the pipe;
+* the **coordinator** attaches each segment, copies the bytes out once,
+  and unlinks it (:func:`restore_arrays`), so the collected value holds
+  ordinary ndarrays again and no segment outlives collection.
+
+The transport is invisible to task functions — they return plain dicts
+with ndarray leaves — and to consumers, who see the same dicts back.
+Persistence stays JSON: :func:`strip_arrays` replaces ndarray leaves
+with a ``{"__array__": {shape, dtype, crc32}}`` summary stub, which is
+what the :class:`~repro.campaign.store.ResultStore` writes (raw page
+bytes do not belong in an append-only JSONL cache; the fingerprint is
+enough to audit a replayed task against its recorded ancestor).
+
+If the platform offers no shared memory (``SHM_AVAILABLE`` is False),
+:func:`extract_arrays` degrades to the identity and arrays travel the
+old pickle path — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - import always succeeds on supported platforms
+    from multiprocessing import shared_memory as _shm
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised only on exotic builds
+    _shm = None
+    SHM_AVAILABLE = False
+
+__all__ = [
+    "SHM_AVAILABLE",
+    "ShmArrayRef",
+    "share_array",
+    "load_array",
+    "extract_arrays",
+    "restore_arrays",
+    "strip_arrays",
+    "has_arrays",
+]
+
+#: dict key marking a leaf that stands in for a shared-memory array
+REF_KEY = "__shm_array__"
+#: dict key marking a persisted (stripped) array summary
+STUB_KEY = "__array__"
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Pipe-sized stand-in for an ndarray living in shared memory."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "shape": list(self.shape), "dtype": self.dtype}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShmArrayRef":
+        return cls(
+            name=str(d["name"]),
+            shape=tuple(int(s) for s in d["shape"]),
+            dtype=str(d["dtype"]),
+        )
+
+
+def share_array(arr: np.ndarray) -> ShmArrayRef:
+    """Publish ``arr`` into a fresh shared-memory segment.
+
+    The segment persists after the creating process closes its mapping —
+    exactly what lets a pool worker exit while the coordinator still
+    attaches.  The consumer is responsible for unlinking (via
+    :func:`load_array` / :func:`restore_arrays`).
+    """
+    if not SHM_AVAILABLE:  # pragma: no cover - platform gate
+        raise RuntimeError("shared memory is not available on this platform")
+    arr = np.ascontiguousarray(arr)
+    seg = _shm.SharedMemory(create=True, size=max(1, arr.nbytes))
+    try:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        del view  # drop the buffer export before closing the mapping
+        ref = ShmArrayRef(name=seg.name, shape=arr.shape, dtype=arr.dtype.str)
+    except BaseException:
+        seg.close()
+        seg.unlink()
+        raise
+    seg.close()
+    return ref
+
+
+def load_array(ref: ShmArrayRef, unlink: bool = True) -> np.ndarray:
+    """Copy the referenced segment out into an ordinary ndarray.
+
+    ``unlink=True`` (the default) removes the segment afterwards — the
+    single-consumer handoff of the worker→coordinator path.
+    """
+    if not SHM_AVAILABLE:  # pragma: no cover - platform gate
+        raise RuntimeError("shared memory is not available on this platform")
+    seg = _shm.SharedMemory(name=ref.name)
+    try:
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+        out = view.copy()
+        del view
+    finally:
+        seg.close()
+    if unlink:
+        seg.unlink()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# recursive value transforms
+# ---------------------------------------------------------------------------
+def _map_leaves(value, fn):
+    """Rebuild ``value`` with ``fn`` applied to every ndarray leaf."""
+    if isinstance(value, np.ndarray):
+        return fn(value)
+    if isinstance(value, dict):
+        return {k: _map_leaves(v, fn) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_map_leaves(v, fn) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_map_leaves(v, fn) for v in value)
+    return value
+
+
+def extract_arrays(value):
+    """Worker side: swap every ndarray leaf for a shared-memory marker.
+
+    Identity when shared memory is unavailable (arrays then ride the
+    pickle path) or when the value holds no arrays.
+    """
+    if not SHM_AVAILABLE:
+        return value
+    return _map_leaves(value, lambda a: {REF_KEY: share_array(a).to_dict()})
+
+
+def _is_ref(node) -> bool:
+    return isinstance(node, dict) and set(node) == {REF_KEY}
+
+
+def restore_arrays(value, unlink: bool = True):
+    """Coordinator side: swap markers back for real ndarrays.
+
+    Each referenced segment is copied out and (by default) unlinked, so
+    after restoration no shared-memory state remains.
+    """
+    if isinstance(value, dict):
+        if _is_ref(value):
+            return load_array(ShmArrayRef.from_dict(value[REF_KEY]), unlink=unlink)
+        return {k: restore_arrays(v, unlink) for k, v in value.items()}
+    if isinstance(value, list):
+        return [restore_arrays(v, unlink) for v in value]
+    if isinstance(value, tuple):
+        return tuple(restore_arrays(v, unlink) for v in value)
+    return value
+
+
+def strip_arrays(value):
+    """Persistence side: replace ndarray leaves with JSON-safe summaries.
+
+    The stub records shape, dtype, and a CRC-32 of the bytes — enough to
+    audit a re-executed task against the cached record without storing
+    megabytes of page data in the JSONL cache.
+    """
+    def stub(a: np.ndarray) -> dict:
+        flat = np.ascontiguousarray(a).reshape(-1).view(np.uint8)
+        return {STUB_KEY: {
+            "shape": list(a.shape),
+            "dtype": a.dtype.str,
+            "nbytes": int(a.nbytes),
+            "crc32": zlib.crc32(flat),
+        }}
+
+    return _map_leaves(value, stub)
+
+
+def has_arrays(value) -> bool:
+    """True when any leaf of ``value`` is an ndarray."""
+    if isinstance(value, np.ndarray):
+        return True
+    if isinstance(value, dict):
+        return any(has_arrays(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return any(has_arrays(v) for v in value)
+    return False

@@ -22,10 +22,12 @@ inputs.
 from __future__ import annotations
 
 import json
+import os
 import warnings
 from pathlib import Path
 from typing import Iterator
 
+from .shm import has_arrays, strip_arrays
 from .spec import Task
 
 __all__ = ["ResultStore"]
@@ -61,7 +63,6 @@ class ResultStore:
 
     def _load(self) -> None:
         text = self.path.read_text(encoding="utf-8")
-        valid_lines: list[str] = []
         dirty = bool(text) and not text.endswith("\n")
         for lineno, line in enumerate(text.splitlines(), start=1):
             stripped = line.strip()
@@ -80,12 +81,22 @@ class ResultStore:
                     stacklevel=3,
                 )
                 continue
+            if key in self._index:
+                # superseded duplicate (two campaigns racing on one
+                # store): last line wins, and compaction must not keep
+                # the stale ancestor around forever
+                dirty = True
             self._index[key] = rec
-            valid_lines.append(stripped)
         if dirty:
+            # one line per key, last occurrence winning — rewritten from
+            # the index so the compacted file matches what get() serves
             tmp = self.path.with_suffix(".jsonl.tmp")
             tmp.write_text(
-                "".join(line + "\n" for line in valid_lines), encoding="utf-8"
+                "".join(
+                    json.dumps(rec, sort_keys=True) + "\n"
+                    for rec in self._index.values()
+                ),
+                encoding="utf-8",
             )
             tmp.replace(self.path)
 
@@ -112,7 +123,17 @@ class ResultStore:
         return self._index.get(key)
 
     def put(self, task: Task, value: dict, elapsed: float = 0.0) -> dict:
-        """Persist one completed task; returns the stored record."""
+        """Persist one completed task; returns the stored record.
+
+        Array leaves (checkpoint pages, parity bytes from shared-memory
+        task kinds) are replaced by ``{"__array__": {shape, dtype,
+        crc32}}`` summary stubs — raw page data does not belong in an
+        append-only JSONL cache, and the fingerprint suffices to audit a
+        re-executed task against its cached record.  Cache hits
+        therefore return the stub form.
+        """
+        if has_arrays(value):
+            value = strip_arrays(value)
         rec = {
             "key": task.key,
             "task": task.to_dict(),
@@ -136,6 +157,10 @@ class ResultStore:
 
         Used by the campaign-backed benches to accumulate entries in
         ``BENCH_campaign.json`` across runs; returns the full document.
+
+        The write is atomic (temp file + ``os.replace``): a crash — or a
+        concurrent reader — mid-write can never observe a truncated or
+        half-old document, only the previous or the new one.
         """
         path = Path(path)
         doc: dict = {}
@@ -145,7 +170,9 @@ class ResultStore:
             except (ValueError, OSError):
                 doc = {}
         doc[name] = payload
-        path.write_text(
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
             json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
+        os.replace(tmp, path)
         return doc

@@ -28,6 +28,12 @@ Built-in kinds cover the repo's three quantitative workloads:
     open-loop request stream served from the cluster under one
     protection policy, returning latency quantiles and loss accounting
     plus a bit-exact completion digest.
+``image_snapshot``
+    One scale-scenario run returning the committed checkpoint *page
+    arrays* of selected VMs.  The array payload rides the zero-copy
+    shared-memory transport (:mod:`repro.campaign.shm`) under
+    ``--jobs N`` instead of the pool's pickle channel; the accompanying
+    checksums prove the bytes arrived exact.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ __all__ = [
     "run_scale_digests",
     "run_study_cell",
     "run_serving_cell_task",
+    "run_image_snapshot",
 ]
 
 
@@ -179,6 +186,53 @@ def run_scale_digests(params: dict, seed: int | None) -> dict:
         "events": result["events"],
         "sim_time": result["sim_time"].hex(),
         "digests": result["digests"],
+    }
+
+
+@register_task("image_snapshot", version="1")
+def run_image_snapshot(params: dict, seed: int | None) -> dict:
+    """Committed checkpoint image bytes of selected VMs after a scale run.
+
+    params: any :class:`~repro.perf.ScaleConfig` field, plus ``vm_ids``
+    (list of VM ids; default ``[0]``).  Returns the raw page arrays —
+    the payload the shared-memory transport exists for — keyed by VM id,
+    with :func:`~repro.cluster.checksum.block_checksum` fingerprints so
+    consumers can prove the zero-copy path delivered exact bytes.
+    """
+    from ..cluster.checksum import block_checksum
+    from ..perf import ScaleConfig
+    from ..perf.scale import _dirty_epoch, build_scale_scenario
+
+    vm_ids = [int(v) for v in params.get("vm_ids", [0])]
+    cfg = ScaleConfig(**{k: v for k, v in params.items() if k != "vm_ids"})
+    sim, cluster, ckpt, rngs, tracer = build_scale_scenario(cfg)
+    for _ in range(cfg.epochs):
+        _dirty_epoch(cluster, rngs, cfg)
+        proc = sim.process(ckpt.run_cycle())
+        sim.run()
+        if proc.ok is False:
+            raise proc.value
+    images: dict[str, object] = {}
+    checksums: dict[str, int] = {}
+    for vm_id in vm_ids:
+        img = None
+        for node in cluster.nodes:
+            got = node.checkpoint_store.get(vm_id)
+            if got is not None and got.payload is not None:
+                img = got
+                break
+        if img is None:
+            raise ValueError(f"no committed checkpoint for vm {vm_id}")
+        payload = img.payload_flat()
+        # copy: the committed buffer may be pool-recycled after this
+        # task returns, and shared-memory publication needs stable bytes
+        images[str(vm_id)] = payload.copy()
+        checksums[str(vm_id)] = block_checksum(payload)
+    return {
+        "n_nodes": cfg.n_nodes,
+        "epochs": cfg.epochs,
+        "images": images,
+        "checksums": checksums,
     }
 
 

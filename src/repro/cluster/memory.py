@@ -141,6 +141,9 @@ class MemoryImage:
         self.n_pages = int(n_pages)
         self.page_size = int(page_size)
         self._flat = np.zeros(n_pages * page_size, dtype=np.uint8)
+        # cached (n_pages, page_size) view; valid because _flat is never
+        # rebound after construction (writes go through the buffer)
+        self._pages2d = self._flat.reshape(self.n_pages, self.page_size)
         if fill:
             self._flat[:] = fill
         self._dirty = np.zeros(n_pages, dtype=bool)
@@ -166,7 +169,7 @@ class MemoryImage:
     @property
     def pages(self) -> np.ndarray:
         """(n_pages, page_size) view — no copy."""
-        return self._flat.reshape(self.n_pages, self.page_size)
+        return self._pages2d
 
     @property
     def flat(self) -> np.ndarray:
@@ -222,10 +225,12 @@ class MemoryImage:
         idx = np.asarray(indices, dtype=np.int64)
         if len(idx) == 0:
             return
-        if idx.min() < 0 or idx.max() >= self.n_pages:
-            raise IndexError(f"page index outside [0, {self.n_pages})")
         uniq = np.unique(idx)
-        self._dirty_count += int(np.count_nonzero(~self._dirty[uniq]))
+        # unique is sorted, so bounds come from its ends — no extra
+        # min/max reduction passes
+        if uniq[0] < 0 or uniq[-1] >= self.n_pages:
+            raise IndexError(f"page index outside [0, {self.n_pages})")
+        self._dirty_count += int(uniq.size - np.count_nonzero(self._dirty[uniq]))
         self._dirty[uniq] = True
         if rng is not None:
             # rng consumption deliberately keyed to len(indices), dupes

@@ -19,6 +19,8 @@ __all__ = [
     "as_u8",
     "xor_reduce",
     "xor_reduce_padded",
+    "xor_reduce_groups",
+    "xor_fold_groups",
     "xor_into",
     "xor_pairs",
     "reconstruct_missing",
@@ -102,6 +104,89 @@ def xor_reduce_padded(
     for b in bufs:
         np.bitwise_xor(acc[: b.shape[0]], b, out=acc[: b.shape[0]])
     return acc
+
+
+def xor_reduce_groups(group_flats: Sequence[Sequence[np.ndarray]]) -> np.ndarray:
+    """Stacked XOR reduce over many same-shaped parity groups at once.
+
+    ``group_flats`` holds, per group, the flat uint8 member images; every
+    member across every group must have the same length and every group
+    the same member count (the caller partitions by shape signature).
+    Returns a ``(G, L)`` uint8 array whose row ``i`` equals
+    ``xor_reduce(group_flats[i])`` bit for bit — XOR is associative and
+    commutative, so one ``np.bitwise_xor.reduce`` over the member axis
+    reproduces the sequential per-group fold exactly.  One kernel call
+    replaces ``G * (M - 1)`` small ones, which is what makes the
+    per-cycle parity encode scale to thousands of groups.
+    """
+    n_groups = len(group_flats)
+    if n_groups == 0:
+        raise ValueError("xor_reduce_groups needs at least one group")
+    n_members = len(group_flats[0])
+    length = group_flats[0][0].shape[0]
+    stack = np.empty((n_groups, n_members, length), dtype=np.uint8)
+    for i, flats in enumerate(group_flats):
+        if len(flats) != n_members:
+            raise ValueError("all groups must have the same member count")
+        row = stack[i]
+        for j, f in enumerate(flats):
+            if f.shape[0] != length:
+                raise ValueError("all members must have the same length")
+            row[j] = f
+    return np.bitwise_xor.reduce(stack, axis=1)
+
+
+def xor_fold_groups(
+    prev_rows: Sequence[np.ndarray],
+    group_folds: Sequence[Sequence[tuple[np.ndarray, np.ndarray]]],
+    n_pages_total: int,
+    page_size: int,
+) -> np.ndarray:
+    """Batched RAID small-write update across many parity groups.
+
+    ``prev_rows[i]`` is group *i*'s previous flat parity block
+    (``n_pages_total * page_size`` bytes); ``group_folds[i]`` holds that
+    group's member deltas as ``(page_indices, pages)`` pairs, where
+    ``pages`` is ``(k, page_size)`` of ``old ⊕ new`` dirty-page bytes.
+    Returns a fresh ``(G, n_pages_total * page_size)`` array of folded
+    parity — input rows are not mutated.
+
+    The fold runs member-slot-major: slot *j* of every group scatters in
+    one gather/xor/scatter triple (indices from different groups land in
+    disjoint row ranges, so the fancy-indexed update is well-defined).
+    Two members of the *same* group may dirty the same page; they sit in
+    different slots, and slot *j+1* gathers after slot *j* scattered, so
+    overlapping updates chain exactly like the sequential fold — and XOR
+    commutativity makes the slot-major order bit-identical to the
+    group-major one.
+    """
+    n_groups = len(prev_rows)
+    if n_groups != len(group_folds):
+        raise ValueError("prev_rows and group_folds must be the same length")
+    nbytes = n_pages_total * page_size
+    out = np.empty((n_groups, nbytes), dtype=np.uint8)
+    for i, prev in enumerate(prev_rows):
+        if prev.shape[0] != nbytes:
+            raise ValueError(
+                f"group {i}: parity block is {prev.shape[0]}B, expected {nbytes}B"
+            )
+        out[i] = prev
+    pages_view = out.reshape(n_groups * n_pages_total, page_size)
+    max_slots = max((len(folds) for folds in group_folds), default=0)
+    for slot in range(max_slots):
+        idx_parts = []
+        page_parts = []
+        for i, folds in enumerate(group_folds):
+            if slot < len(folds):
+                indices, pages = folds[slot]
+                idx_parts.append(indices + i * n_pages_total)
+                page_parts.append(pages)
+        idx = np.concatenate(idx_parts)
+        pages = np.vstack(page_parts)
+        gathered = pages_view[idx]
+        np.bitwise_xor(gathered, pages, out=gathered)
+        pages_view[idx] = gathered
+    return out
 
 
 def reconstruct_missing_padded(

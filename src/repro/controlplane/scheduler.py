@@ -24,6 +24,8 @@ operations.
 
 from __future__ import annotations
 
+import heapq
+
 from ..cluster.cluster import VirtualCluster
 from ..cluster.vm import VirtualMachine
 from ..core.groups import GroupLayout, LayoutError, RaidGroup
@@ -65,12 +67,16 @@ class PlacementEngine:
         nodes = self._candidates(exclude)
         if not nodes:
             raise PlacementError("no eligible node for placement")
-        load = {n.node_id: len(n.vms) for n in nodes}
+        # heap of (load, node_id): each pop is the exact (load, id) minimum
+        # the historical linear scan selected, at O(log n) per VM instead
+        # of O(n) — placement sequences are bit-identical
+        heap = [(len(n.vms), n.node_id) for n in nodes]
+        heapq.heapify(heap)
         out: list[int] = []
         for _ in range(count):
-            nid = min(load, key=lambda i: (load[i], i))
+            load, nid = heapq.heappop(heap)
             out.append(nid)
-            load[nid] += 1
+            heapq.heappush(heap, (load + 1, nid))
         return out
 
     def round_robin(self, count: int, exclude=frozenset()) -> list[int]:

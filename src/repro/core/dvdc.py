@@ -50,12 +50,17 @@ from ..checkpoint.compression import NO_COMPRESSION, CompressionModel
 from ..checkpoint.coordinator import CoordinatedCheckpoint
 from ..checkpoint.strategies import ForkedCapture
 from ..cluster.bufpool import GLOBAL_POOL
-from ..cluster.checksum import block_checksum
+from ..cluster.checksum import block_checksum, block_checksums_rows
 from ..cluster.cluster import VirtualCluster
 from ..cluster.images import CheckpointImage, CheckpointKind, ParityBlock
 from ..cluster.memory import PageDelta, recycle_delta
 from ..cluster.vm import VMState
-from ..cluster.xorsum import reconstruct_missing_padded, xor_reduce_padded
+from ..cluster.xorsum import (
+    reconstruct_missing_padded,
+    xor_fold_groups,
+    xor_reduce_groups,
+    xor_reduce_padded,
+)
 from ..network.link import NetworkError
 from ..sim import AllOf, NULL_TRACER, Resource, Tracer
 from ..telemetry import probe_of
@@ -191,10 +196,11 @@ class DisklessCheckpointer:
         group: RaidGroup,
         outcomes: dict[int, CaptureOutcome],
         result: DisklessCycleResult,
-        staged: dict[int, ParityBlock],
+        pending: list,
         staged_commits: dict[int, CheckpointImage],
     ):
-        """Process: exchange + parity for one group."""
+        """Process: exchange + validation for one group; the parity
+        bytes themselves are encoded by the commit-time batched flush."""
         sim = self.cluster.sim
         if not self.cluster.node(group.parity_node).alive:
             # the parity node died before the exchange even started (its
@@ -263,8 +269,14 @@ class DisklessCheckpointer:
             + raw_bytes / self.xor_bandwidth
         )
 
-        # stage the new parity block (functional when payloads exist)
-        data: np.ndarray | None = None
+        # Validate and *register* the parity encode; the numeric work
+        # happens once per epoch in _flush_encodes, batched across every
+        # group, on the commit path only.  All protocol-point checks
+        # (parity-node aliveness, previous-block presence and checksum,
+        # group homogeneity) stay right here so failure behavior is
+        # unchanged; what moves is pure, event-free byte crunching whose
+        # results only become observable at commit.
+        prev = None
         functional = all(img.payload is not None for img in member_images)
         if functional:
             if any(img.kind == CheckpointKind.INCREMENTAL for img in member_images):
@@ -287,58 +299,127 @@ class DisklessCheckpointer:
                         "its checksum — silent corruption; scrub or run a "
                         "full epoch before folding increments"
                     )
-                data = GLOBAL_POOL.acquire(prev.data.nbytes)
-                np.copyto(data, prev.data)
                 for img in member_images:
-                    if img.kind == CheckpointKind.INCREMENTAL:
-                        xd = xor_deltas.pop(img.vm_id)
-                        if data.shape[0] != xd.n_pages_total * xd.page_size:
-                            raise RuntimeError(
-                                "incremental epochs require homogeneous "
-                                "image sizes within a group; use full/"
-                                "forked capture for heterogeneous groups"
-                            )
-                        view = data.reshape(xd.n_pages_total, xd.page_size)
-                        # fancy indexing yields copies, so gather into
-                        # pooled scratch, xor in place, scatter back
-                        scratch_buf = GLOBAL_POOL.acquire(xd.pages.nbytes)
-                        scratch = scratch_buf.reshape(xd.n_pages, xd.page_size)
-                        np.take(view, xd.indices, axis=0, out=scratch)
-                        np.bitwise_xor(scratch, xd.pages, out=scratch)
-                        view[xd.indices] = scratch
-                        del scratch
-                        GLOBAL_POOL.recycle(scratch_buf)
-                        # the xor-delta is fully folded; reclaim its pages
-                        recycle_delta(xd)
-                    else:  # a full capture mixed in (e.g. post-recovery)
+                    if img.kind != CheckpointKind.INCREMENTAL:
+                        # a full capture mixed in (e.g. post-recovery)
                         raise RuntimeError(
                             "mixed full/incremental captures within one group "
                             "epoch are not supported; run a full epoch first"
                         )
-            else:
-                flats = [img.payload_flat() for img in member_images]
-                data = xor_reduce_padded(
-                    flats, out=GLOBAL_POOL.acquire(max(f.shape[0] for f in flats))
-                )
-        logical = max(img.logical_bytes for img in member_images)
-        full_logical = max(
-            self.cluster.vm(v).memory_bytes for v in group.member_vm_ids
-        )
-        staged[group.group_id] = ParityBlock(
-            group_id=group.group_id,
-            epoch=self.epoch,
-            member_vm_ids=group.member_vm_ids,
-            logical_bytes=full_logical if logical < full_logical else logical,
-            data=data,
-            checksum=None if data is None else block_checksum(data),
-            member_checksums={
-                img.vm_id: block_checksum(img.payload_flat())
-                for img in member_images
-                if isinstance(img.payload, np.ndarray)
-            },
-        )
+                    xd = xor_deltas[img.vm_id]
+                    if prev.data.shape[0] != xd.n_pages_total * xd.page_size:
+                        raise RuntimeError(
+                            "incremental epochs require homogeneous "
+                            "image sizes within a group; use full/"
+                            "forked capture for heterogeneous groups"
+                        )
+        pending.append((group, member_images, xor_deltas, prev, functional))
         for img in member_images:
             staged_commits[img.vm_id] = img
+
+    def _flush_encodes(
+        self, pending: list, staged: dict[int, ParityBlock]
+    ) -> None:
+        """Commit-time batched parity encode.
+
+        ``pending`` holds one ``(group, member_images, xor_deltas, prev,
+        functional)`` record per surviving group, registered in exchange
+        completion order.  Groups are partitioned by shape signature and
+        encoded with the stacked kernels (:func:`xor_reduce_groups`,
+        :func:`xor_fold_groups`, :func:`block_checksums_rows`) — a
+        handful of whole-cluster numpy calls instead of O(groups)
+        small ones.  Results (parity bytes, checksums, staging order)
+        are bit-identical to the historical per-group inline encode;
+        odd-shaped groups fall back to the scalar path.
+        """
+        datas: list[np.ndarray | None] = [None] * len(pending)
+        checksums: list[int | None] = [None] * len(pending)
+        full_batches: dict[tuple[int, int], list[int]] = {}
+        incr_batches: dict[tuple[int, int], list[int]] = {}
+        for i, (group, member_images, xor_deltas, prev, functional) in enumerate(
+            pending
+        ):
+            if not functional:
+                continue
+            if prev is not None:
+                xd0 = xor_deltas[member_images[0].vm_id]
+                incr_batches.setdefault(
+                    (xd0.n_pages_total, xd0.page_size), []
+                ).append(i)
+            else:
+                flats = [img.payload_flat() for img in member_images]
+                lengths = {f.shape[0] for f in flats}
+                if len(lengths) == 1:
+                    full_batches.setdefault(
+                        (len(flats), lengths.pop()), []
+                    ).append(i)
+                else:  # heterogeneous member sizes: scalar padded reduce
+                    data = xor_reduce_padded(
+                        flats,
+                        out=GLOBAL_POOL.acquire(max(f.shape[0] for f in flats)),
+                    )
+                    datas[i] = data
+                    checksums[i] = block_checksum(data)
+
+        for (_n_members, _length), idxs in full_batches.items():
+            stacked = xor_reduce_groups(
+                [
+                    [img.payload_flat() for img in pending[i][1]]
+                    for i in idxs
+                ]
+            )
+            row_sums = block_checksums_rows(stacked)
+            for row, i in enumerate(idxs):
+                datas[i] = stacked[row]
+                checksums[i] = row_sums[row]
+
+        for (n_pages_total, page_size), idxs in incr_batches.items():
+            folds = []
+            for i in idxs:
+                _g, member_images, xor_deltas, _p, _f = pending[i]
+                folds.append(
+                    [
+                        (
+                            xor_deltas[img.vm_id].indices,
+                            xor_deltas[img.vm_id].pages,
+                        )
+                        for img in member_images
+                    ]
+                )
+            stacked = xor_fold_groups(
+                [pending[i][3].data for i in idxs],
+                folds,
+                n_pages_total,
+                page_size,
+            )
+            del folds
+            row_sums = block_checksums_rows(stacked)
+            for row, i in enumerate(idxs):
+                datas[i] = stacked[row]
+                checksums[i] = row_sums[row]
+                # every delta of this group is folded; reclaim the pages
+                member_images, xor_deltas = pending[i][1], pending[i][2]
+                for img in member_images:
+                    recycle_delta(xor_deltas.pop(img.vm_id))
+
+        for i, (group, member_images, _xd, _prev, _f) in enumerate(pending):
+            logical = max(img.logical_bytes for img in member_images)
+            full_logical = max(
+                self.cluster.vm(v).memory_bytes for v in group.member_vm_ids
+            )
+            staged[group.group_id] = ParityBlock(
+                group_id=group.group_id,
+                epoch=self.epoch,
+                member_vm_ids=group.member_vm_ids,
+                logical_bytes=full_logical if logical < full_logical else logical,
+                data=datas[i],
+                checksum=checksums[i],
+                member_checksums={
+                    img.vm_id: block_checksum(img.payload_flat())
+                    for img in member_images
+                    if isinstance(img.payload, np.ndarray)
+                },
+            )
 
     def run_cycle(self, pause_done=None):
         """Process: one coordinated diskless checkpoint epoch.
@@ -380,9 +461,10 @@ class DisklessCheckpointer:
 
         staged: dict[int, ParityBlock] = {}
         staged_commits: dict[int, CheckpointImage] = {}
+        pending: list = []
         group_procs = [
             sim.process(
-                self._group_cycle(g, outcomes, result, staged, staged_commits)
+                self._group_cycle(g, outcomes, result, pending, staged_commits)
             )
             for g in self.layout.groups
         ]
@@ -413,9 +495,10 @@ class DisklessCheckpointer:
             if self.auditor is not None:
                 self.auditor.post_cycle(self, result)
             return result
+        self._flush_encodes(pending, staged)
+        groups_by_id = {g.group_id: g for g in self.layout.groups}
         for group_id, block in staged.items():
-            group = next(g for g in self.layout.groups if g.group_id == group_id)
-            self.cluster.node(group.parity_node).store_parity(block)
+            self.cluster.node(groups_by_id[group_id].parity_node).store_parity(block)
         for vm_id, image in staged_commits.items():
             vm = self.cluster.vm(vm_id)
             if vm.node_id is None:

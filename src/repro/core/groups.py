@@ -22,6 +22,7 @@ Three layouts reproduce the paper's figures:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -198,25 +199,45 @@ def build_orthogonal_layout(
     groups: list[RaidGroup] = []
     parity_count: dict[int, int] = {n.node_id: 0 for n in cluster.nodes}
     gid = 0
-    while any(by_node.values()):
-        # nodes with most remaining VMs first; stable tie-break by id
-        order = sorted(by_node, key=lambda n: (-len(by_node[n]), n))
-        if domains is None:
-            donors = [n for n in order if by_node[n]][:group_size]
-        else:
-            donors = []
-            used_domains: set[int] = set()
-            for n in order:
-                if not by_node[n]:
-                    continue
+    # Donor selection is "nodes with most remaining VMs first, stable
+    # tie-break by id" — historically a full sort per group, O(G·n log n).
+    # A lazy max-heap of (-remaining, node_id) pops valid entries in that
+    # exact order (stale counts are re-pushed with their current value),
+    # so the donor sequence — and hence the layout — is bit-identical at
+    # O(log n) amortized per draw.
+    donor_heap = [(-len(ids), n) for n, ids in by_node.items() if ids]
+    heapq.heapify(donor_heap)
+    remaining_total = sum(len(ids) for ids in by_node.values())
+    # Rotate-mode parity is "least parity blocks, tie-break by id" over
+    # eligible nodes — the same lazy-heap trick applies.
+    parity_heap = [(0, n.node_id) for n in cluster.nodes if n.alive]
+    heapq.heapify(parity_heap)
+    while remaining_total:
+        donors: list[int] = []
+        skipped: list[tuple[int, int]] = []  # valid but domain-duplicated
+        used_domains: set[int] = set()
+        while donor_heap and len(donors) < group_size:
+            negc, n = heapq.heappop(donor_heap)
+            ids = by_node[n]
+            if not ids:
+                continue
+            if -negc != len(ids):  # stale count: reinsert at its true rank
+                heapq.heappush(donor_heap, (-len(ids), n))
+                continue
+            if domains is not None:
                 d = domains.domain_of(n)
                 if d in used_domains:
+                    skipped.append((negc, n))
                     continue
-                donors.append(n)
                 used_domains.add(d)
-                if len(donors) == group_size:
-                    break
+            donors.append(n)
         member_ids = tuple(by_node[n].pop(0) for n in donors)
+        remaining_total -= len(member_ids)
+        for entry in skipped:
+            heapq.heappush(donor_heap, entry)
+        for n in donors:
+            if by_node[n]:
+                heapq.heappush(donor_heap, (-len(by_node[n]), n))
         member_nodes = set(donors)
         member_domains = (
             {domains.domain_of(n) for n in member_nodes}
@@ -238,24 +259,35 @@ def build_orthogonal_layout(
                 )
             pnode = parity_nodes_fixed
         else:
-            eligible = [
-                n.node_id
-                for n in cluster.nodes
-                if n.alive  # never rotate parity onto a dead or cold-spare node
-                and n.node_id not in member_nodes
-                and (
-                    member_domains is None
-                    or domains.domain_of(n.node_id) not in member_domains
-                )
-            ]
-            if not eligible:
+            # first valid pop == min over eligible nodes by
+            # (parity_count, id); members / shared-domain nodes are set
+            # aside and restored after the pick (their counts are
+            # untouched, so their heap entries stay exact)
+            pnode = None
+            aside: list[tuple[int, int]] = []
+            while parity_heap:
+                c, n = heapq.heappop(parity_heap)
+                if c != parity_count[n]:  # stale: reinsert at true rank
+                    heapq.heappush(parity_heap, (parity_count[n], n))
+                    continue
+                if n in member_nodes or (
+                    member_domains is not None
+                    and domains.domain_of(n) in member_domains
+                ):
+                    aside.append((c, n))
+                    continue
+                pnode = n
+                break
+            for entry in aside:
+                heapq.heappush(parity_heap, entry)
+            if pnode is None:
                 raise LayoutError(
                     f"no node available to hold parity for group {gid}: "
                     "members cover every eligible "
                     + ("failure domain" if domains is not None else "node")
                     + " — reduce group_size"
                 )
-            pnode = min(eligible, key=lambda n: (parity_count[n], n))
+            heapq.heappush(parity_heap, (parity_count[pnode] + 1, pnode))
         parity_count[pnode] += 1
         groups.append(RaidGroup(gid, member_ids, pnode))
         gid += 1

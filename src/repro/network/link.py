@@ -30,6 +30,7 @@ makes the incremental allocator bit-identical to the reference one.
 from __future__ import annotations
 
 import math
+import operator
 from typing import Iterable, Sequence
 
 from ..sim import NULL_TRACER, Simulator, SimEvent, Tracer
@@ -302,15 +303,19 @@ class Network:
             raise NetworkError(f"flow size must be >= 0, got {size}")
         self._flow_seq += 1
         flow = Flow(self, links, size, label or f"flow{self._flow_seq}")
-        self.tracer.emit(
-            self.sim.now, "net.flow.start", label=flow.label, size=size,
-            path=[lk.name for lk in links],
-        )
-        self._probe.count(
-            "repro_net_flows_total",
-            help="Flows started, by terminal link",
-            link=links[-1].name,
-        )
+        # guard so the disabled path skips building the emit kwargs and
+        # the path-name list entirely (emit itself re-checks enabled)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, "net.flow.start", label=flow.label, size=size,
+                path=[lk.name for lk in links],
+            )
+        if self._probe.enabled:
+            self._probe.count(
+                "repro_net_flows_total",
+                help="Flows started, by terminal link",
+                link=links[-1].name,
+            )
         total_latency = sum(lk.latency for lk in links)
         if total_latency > 0.0:
             self.sim.schedule(total_latency, self._admit, flow)
@@ -352,10 +357,11 @@ class Network:
         if error is None:
             flow._anchor_remaining = 0.0
             duration = self.sim.now - flow.started_at
-            self.tracer.emit(
-                self.sim.now, "net.flow.done", label=flow.label, size=flow.size,
-                duration=duration,
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "net.flow.done", label=flow.label,
+                    size=flow.size, duration=duration,
+                )
             if self._probe.enabled:
                 terminal = flow.path[-1].name
                 self._probe.observe(
@@ -369,11 +375,13 @@ class Network:
                 )
             flow.succeed(flow)
         else:
-            self.tracer.emit(self.sim.now, "net.flow.abort", label=flow.label)
-            self._probe.count(
-                "repro_net_flow_aborts_total",
-                help="Flows aborted in flight",
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "net.flow.abort", label=flow.label)
+            if self._probe.enabled:
+                self._probe.count(
+                    "repro_net_flow_aborts_total",
+                    help="Flows aborted in flight",
+                )
             flow.fail(error)
         self._reallocate(flow.path)
 
@@ -412,6 +420,17 @@ class Network:
         solution equals the global one on these flows.
         """
         unfrozen = dict.fromkeys(flows)
+        if len(unfrozen) == 1:
+            # Lone flow: every share is residual/1 == the link bandwidth,
+            # so it freezes at its path's bottleneck in one round.  Same
+            # float the general loop would select (x / 1.0 is exact).
+            (f,) = unfrozen
+            rate = math.inf
+            for lk in f.path:
+                bw = lk.bandwidth
+                if bw < rate:
+                    rate = bw
+            return {f: rate}
         residual: dict[Link, float] = {}
         count: dict[Link, int] = {}
         for f in unfrozen:
@@ -425,17 +444,19 @@ class Network:
         while unfrozen:
             # most constrained link among those carrying unfrozen flows;
             # ties break on creation order so results are deterministic
+            # (the winner is the (share, index) minimum, independent of
+            # scan order)
             best: Link | None = None
             best_share = math.inf
+            best_index = -1
             for lk, c in count.items():
-                if c <= 0:
-                    continue
                 share = residual[lk] / c
                 if share < best_share or (
-                    share == best_share and best is not None and lk.index < best.index
+                    share == best_share and lk.index < best_index
                 ):
                     best_share = share
                     best = lk
+                    best_index = lk.index
             if best is None:  # pragma: no cover - every unfrozen flow carries
                 break
             for f in list(best.flows):
@@ -444,9 +465,16 @@ class Network:
                 rates[f] = best_share
                 del unfrozen[f]
                 for lk in f.path:
-                    r = residual[lk] - best_share
-                    residual[lk] = r if r > 0.0 else 0.0
-                    count[lk] -= 1
+                    c = count[lk] - 1
+                    if c:
+                        count[lk] = c
+                        r = residual[lk] - best_share
+                        residual[lk] = r if r > 0.0 else 0.0
+                    else:
+                        # no unfrozen flow crosses lk any more: drop it
+                        # from the scan instead of skipping it each round
+                        del count[lk]
+                        del residual[lk]
         return rates
 
     def _reallocate(self, dirty_links: Iterable[Link]) -> None:
@@ -456,8 +484,8 @@ class Network:
             # admission order, matching the reference allocator's
             # iteration over _active, so reschedules consume identical
             # event-heap sequence numbers under both strategies
-            affected = dict.fromkeys(
-                sorted(self._closure(dirty_links), key=lambda f: f._order)
+            affected = sorted(
+                self._closure(dirty_links), key=operator.attrgetter("_order")
             )
         if affected:
             rates = self._fill(affected)

@@ -1,9 +1,9 @@
 """Discrete-event simulation core.
 
-The engine is a classic event-heap simulator: callbacks are scheduled at
-absolute simulated times and executed in nondecreasing time order.  Ties
-are broken first by an integer *priority* (lower runs first) and then by
-insertion order, which makes runs fully deterministic for a fixed seed.
+The engine executes callbacks scheduled at absolute simulated times in
+nondecreasing time order.  Ties are broken first by an integer
+*priority* (lower runs first) and then by insertion order, which makes
+runs fully deterministic for a fixed seed.
 
 Two programming styles sit on top of this module:
 
@@ -11,17 +11,47 @@ Two programming styles sit on top of this module:
 * process style — generator coroutines driven by :mod:`repro.sim.process`
 
 The engine deliberately knows nothing about processes; it only fires
-:class:`EventHandle` callbacks.  This keeps the hot loop small (a single
-``heappop`` plus a function call) which matters for the Monte-Carlo
-validation runs that execute millions of events.
+:class:`EventHandle` callbacks.  This keeps the hot loop small, which
+matters for the Monte-Carlo validation runs and the 10k-node scale
+scenarios that execute millions of events.
+
+Internal structure — calendar queue
+-----------------------------------
+The pending set is a two-tier *calendar queue* rather than one binary
+heap (see ``docs/performance.md``):
+
+* ``_cur`` — a small binary heap of plain ``(time, priority, seq,
+  handle)`` tuples covering the *current region* of simulated time.
+  ``heappop`` cost scales with the current region's population, not the
+  total pending count.
+* ``_future`` — a dict of unsorted buckets keyed by ``floor(time /
+  width)``.  Scheduling into the future is an O(1) ``list.append``;
+  a bucket is heapified exactly once, when the clock reaches it and the
+  bucket merges into ``_cur``.
+
+The queue starts in *pure-heap mode* (``_width is None``, everything in
+``_cur``) and switches to bucketed mode only when the pending count
+grows past a threshold — small simulations keep the classic heap's
+constant factors.  Bucket width adapts deterministically to the observed
+event-time distribution (the trigger depends only on queue state, which
+is itself deterministic, so golden traces are unaffected).
+
+Total order is preserved exactly: every entry carries the same
+``(time, priority, seq)`` key as the historical single-heap engine, a
+bucket's key is a true lower bound for every entry in it, and a bucket
+is merged *before* any entry of ``_cur`` at or past that lower bound is
+popped — so pops deliver the identical global sequence.
+
+Cancellation stays lazy: cancelled entries are dropped when they
+surface at the top of ``_cur``, or wholesale by an amortized O(n)
+compaction sweep across both tiers.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Iterable
 
 __all__ = [
@@ -41,6 +71,8 @@ NORMAL = 1
 #: Priority for observers that must see the post-state of a timestamp.
 LATE = 2
 
+_INF = math.inf
+
 
 class SimulationError(RuntimeError):
     """Raised for structural misuse of the simulator (e.g. time travel)."""
@@ -48,14 +80,6 @@ class SimulationError(RuntimeError):
 
 class StopSimulation(Exception):
     """Raised inside a callback to halt :meth:`Simulator.run` immediately."""
-
-
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    priority: int
-    seq: int
-    handle: "EventHandle" = field(compare=False)
 
 
 class EventHandle:
@@ -111,16 +135,37 @@ class Simulator:
     scheduling is side-effect free.  All times are floats in seconds.
     """
 
-    #: Lazy-deletion compaction: cancelled entries stay buried in the heap
+    #: Lazy-deletion compaction: cancelled entries stay buried in the queue
     #: until at least this many have accumulated *and* they make up half
-    #: the heap; then one O(n) rebuild evicts them all.  Amortized, every
-    #: heap operation stays O(log live) even under cancel-heavy schedules
-    #: (the flow allocator cancels/reschedules completions constantly).
+    #: the pending set; then one O(n) sweep evicts them all.  Amortized,
+    #: every queue operation stays O(log live) even under cancel-heavy
+    #: schedules (the flow allocator cancels/reschedules completions
+    #: constantly).
     COMPACT_MIN_CANCELLED = 64
+
+    #: Pending-entry count at which the queue switches from pure-heap to
+    #: bucketed (calendar) mode.  Below this the single heap's constant
+    #: factors win; above it, O(1) future appends and region-local pops do.
+    BUCKET_THRESHOLD = 4096
+
+    #: Target entries per bucket when (re)sizing the calendar width.
+    BUCKET_TARGET_FILL = 16
+
+    #: A merged bucket larger than this forces a width halving sweep.
+    BUCKET_SPLIT_SIZE = 8192
 
     def __init__(self, start: float = 0.0, probe: Any = None):
         self._now = float(start)
-        self._heap: list[_HeapEntry] = []
+        # current-region heap of (time, priority, seq, handle) tuples
+        self._cur: list[tuple[float, int, int, EventHandle]] = []
+        # future buckets: floor(time/width) -> unsorted entry list
+        self._future: dict[int, list[tuple[float, int, int, EventHandle]]] = {}
+        self._keys: list[int] = []  # min-heap of _future keys
+        self._width: float | None = None  # None => pure-heap mode
+        self._cur_key = 0  # highest bucket key already merged into _cur
+        self._size = 0  # total entries across both tiers (incl. cancelled)
+        self._bucket_check = 0  # retry throttle for _enter_bucket_mode
+        self._tiny_merges = 0  # consecutive merges of near-empty buckets
         self._seq = itertools.count()
         self._running = False
         self._event_count = 0
@@ -160,39 +205,177 @@ class Simulator:
 
     @property
     def heap_size(self) -> int:
-        """Entries currently in the heap, including lazily-deleted ones."""
-        return len(self._heap)
+        """Entries currently pending, including lazily-deleted ones."""
+        return self._size
 
     @property
     def cancelled_pending(self) -> int:
-        """Cancelled entries still buried in the heap."""
+        """Cancelled entries still buried in the queue."""
         return self._cancelled
 
     @property
     def compactions(self) -> int:
-        """Heap rebuilds performed to evict cancelled entries."""
+        """Queue sweeps performed to evict cancelled entries."""
         return self._compactions
 
     def _note_cancel(self) -> None:
         self._cancelled += 1
         if (
             self._cancelled >= self.COMPACT_MIN_CANCELLED
-            and self._cancelled * 2 >= len(self._heap)
+            and self._cancelled * 2 >= self._size
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries.
+        """Sweep cancelled entries out of both tiers.
 
         Entries are totally ordered by ``(time, priority, seq)``, so the
-        re-heapified subset pops in exactly the order the original heap
+        re-heapified subset pops in exactly the order the original queue
         would have delivered it — compaction never changes execution
-        order, only memory and pop cost.
+        order, only memory and pop cost.  ``_cur`` is filtered *in
+        place*: the run loop holds a direct reference to the list.
         """
-        self._heap = [e for e in self._heap if not e.handle.cancelled]
-        heapq.heapify(self._heap)
+        cur = self._cur
+        cur[:] = [e for e in cur if not e[3].cancelled]
+        heapify(cur)
+        size = len(cur)
+        future = self._future
+        if future:
+            for k in list(future):
+                kept = [e for e in future[k] if not e[3].cancelled]
+                if kept:
+                    future[k] = kept
+                    size += len(kept)
+                else:
+                    del future[k]
+            self._keys[:] = future.keys()
+            heapify(self._keys)
+        self._size = size
         self._cancelled = 0
         self._compactions += 1
+
+    # ------------------------------------------------------------------
+    # calendar plumbing
+    # ------------------------------------------------------------------
+    def _bucket_key(self, time: float, width: float) -> int:
+        """Bucket index whose lower bound ``k * width`` never exceeds
+        ``time`` (float division can round either way; a key that
+        rounded *up* would break the merge condition's lower-bound
+        argument, so nudge it back down)."""
+        k = int(time / width)
+        if k * width > time:
+            k -= 1
+        return k
+
+    def _push(self, time: float, priority: int, handle: EventHandle) -> None:
+        entry = (time, priority, next(self._seq), handle)
+        width = self._width
+        if width is None:
+            heappush(self._cur, entry)
+            self._size += 1
+            if self._size >= self.BUCKET_THRESHOLD and self._size >= self._bucket_check:
+                self._enter_bucket_mode()
+            return
+        k = self._bucket_key(time, width)
+        if k <= self._cur_key:
+            heappush(self._cur, entry)
+        else:
+            bucket = self._future.get(k)
+            if bucket is None:
+                self._future[k] = [entry]
+                heappush(self._keys, k)
+            else:
+                bucket.append(entry)
+        self._size += 1
+
+    def _enter_bucket_mode(self) -> None:
+        """Switch from pure-heap to calendar mode, sizing the width from
+        the currently pending time span."""
+        cur = self._cur
+        horizon = max(e[0] for e in cur)
+        span = horizon - self._now
+        if span <= 0.0 or not math.isfinite(span):
+            # everything sits at one timestamp; buckets can't help right
+            # now — back off so the O(n) scan stays amortized O(1)
+            self._bucket_check = self._size * 2
+            return
+        width = span * self.BUCKET_TARGET_FILL / max(len(cur), 1)
+        if not self._set_width(width):
+            self._bucket_check = self._size * 2
+
+    def _set_width(self, width: float) -> bool:
+        """(Re)bucket every pending entry under ``width``.
+
+        O(n); triggered only by deterministic queue-shape conditions, so
+        it occurs at identical points in identical runs.  Returns False
+        — leaving every structure untouched — when ``width`` is unusable
+        or so fine that a pending time would overflow its integer bucket
+        key (``int(time/width)`` → inf for subnormal widths).
+        """
+        if width <= 0.0 or not math.isfinite(width):
+            return False
+        cur = self._cur
+        try:
+            cur_key = self._bucket_key(self._now, width)
+            future: dict[int, list[tuple[float, int, int, EventHandle]]] = {}
+            stay = []
+            for e in itertools.chain(cur, *self._future.values()):
+                k = self._bucket_key(e[0], width)
+                if k <= cur_key:
+                    stay.append(e)
+                else:
+                    b = future.get(k)
+                    if b is None:
+                        future[k] = [e]
+                    else:
+                        b.append(e)
+        except OverflowError:
+            return False
+        self._width = width
+        self._cur_key = cur_key
+        cur[:] = stay
+        heapify(cur)
+        self._future = future
+        self._keys = list(future.keys())
+        heapify(self._keys)
+        self._tiny_merges = 0
+        return True
+
+    def _merge_next_bucket(self) -> None:
+        """Fold the earliest future bucket into the current-region heap,
+        adapting the width when bucket sizes drift degenerate."""
+        k = heappop(self._keys)
+        bucket = self._future.pop(k)
+        self._cur_key = k
+        cur = self._cur
+        cur.extend(bucket)
+        heapify(cur)
+        n = len(bucket)
+        if n > self.BUCKET_SPLIT_SIZE:
+            # one overstuffed bucket — width too coarse for the local
+            # event density.  Size the new width from this bucket's own
+            # time span; a zero-span spike (thousands of events at one
+            # timestamp) cannot be split by any width, so leave the
+            # width alone instead of shrinking toward float underflow.
+            tmin = tmax = bucket[0][0]
+            for e in bucket:
+                t = e[0]
+                if t < tmin:
+                    tmin = t
+                elif t > tmax:
+                    tmax = t
+            span = tmax - tmin
+            if span > 0.0:
+                self._set_width(span * self.BUCKET_TARGET_FILL / n)
+            else:
+                self._tiny_merges = 0
+        elif n <= 1 and len(self._keys) > 64:
+            self._tiny_merges += 1
+            if self._tiny_merges >= 256:
+                # long run of near-empty buckets — width too fine
+                self._set_width(self._width * 8.0)
+        else:
+            self._tiny_merges = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -210,9 +393,26 @@ class Simulator:
         the current timestamp after the currently executing callback
         returns, ordered by ``priority`` then FIFO.
         """
-        if not (delay >= 0.0) or math.isinf(delay) or math.isnan(delay):
+        if not (delay >= 0.0) or delay == _INF:
             raise SimulationError(f"invalid delay {delay!r}; must be finite and >= 0")
-        return self.at(self._now + delay, fn, *args, priority=priority)
+        time = self._now + delay
+        handle = EventHandle(time, fn, args, self)
+        if delay == 0.0:
+            # fast path: the current timestamp is always current-region
+            self._cur_push(time, priority, handle)
+        else:
+            self._push(time, priority, handle)
+        return handle
+
+    def _cur_push(self, time: float, priority: int, handle: EventHandle) -> None:
+        heappush(self._cur, (time, priority, next(self._seq), handle))
+        self._size += 1
+        if (
+            self._width is None
+            and self._size >= self.BUCKET_THRESHOLD
+            and self._size >= self._bucket_check
+        ):
+            self._enter_bucket_mode()
 
     def at(
         self,
@@ -222,12 +422,18 @@ class Simulator:
         priority: int = NORMAL,
     ) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
-        if time < self._now:
+        if not (time >= self._now) or time == _INF:
+            # the compound guard also rejects NaN (all comparisons false),
+            # which would otherwise corrupt the queue's total order
+            if math.isnan(time) or time == _INF:
+                raise SimulationError(
+                    f"cannot schedule at non-finite time {time!r}"
+                )
             raise SimulationError(
                 f"cannot schedule at t={time:.6g} before now={self._now:.6g}"
             )
         handle = EventHandle(time, fn, args, self)
-        heapq.heappush(self._heap, _HeapEntry(time, priority, next(self._seq), handle))
+        self._push(time, priority, handle)
         return handle
 
     # ------------------------------------------------------------------
@@ -238,20 +444,28 @@ class Simulator:
 
         Returns True if an event ran, False if the queue is empty.
         """
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            handle = entry.handle
+        cur = self._cur
+        keys = self._keys
+        while True:
+            if keys and (not cur or cur[0][0] >= keys[0] * self._width):
+                self._merge_next_bucket()
+                keys = self._keys  # _set_width may have rebuilt the key heap
+                continue
+            if not cur:
+                return False
+            entry = heappop(cur)
+            self._size -= 1
+            handle = entry[3]
             if handle.cancelled:
                 self._cancelled -= 1
                 continue
-            self._now = entry.time
+            self._now = entry[0]
             handle.fired = True
             self._event_count += 1
             handle.fn(*handle.args)
             if self._probe is not None and self._probe.enabled:
-                self._probe.sim_event(len(self._heap))
+                self._probe.sim_event(self._size)
             return True
-        return False
 
     def run(self, until: float = math.inf, max_events: int | None = None) -> float:
         """Run events until the queue drains, ``until`` is reached, or
@@ -265,55 +479,81 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         executed = 0
+        # _cur is filtered strictly in place (compaction, drain), so one
+        # binding stays valid across callbacks; _keys can be rebuilt by a
+        # width change, so it is re-fetched after every merge.
+        cur = self._cur
         try:
-            while self._heap:
-                entry = self._heap[0]
-                if entry.handle.cancelled:
-                    heapq.heappop(self._heap)
+            while True:
+                keys = self._keys
+                if keys and (not cur or cur[0][0] >= keys[0] * self._width):
+                    self._merge_next_bucket()
+                    continue
+                if not cur:
+                    # queue drained
+                    if until != _INF and until > self._now:
+                        self._now = until
+                    break
+                entry = cur[0]
+                handle = entry[3]
+                if handle.cancelled:
+                    heappop(cur)
+                    self._size -= 1
                     self._cancelled -= 1
                     continue
-                if entry.time > until:
+                time = entry[0]
+                if time > until:
                     self._now = until
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(self._heap)
-                self._now = entry.time
-                entry.handle.fired = True
+                heappop(cur)
+                self._size -= 1
+                self._now = time
+                handle.fired = True
                 self._event_count += 1
                 try:
-                    entry.handle.fn(*entry.handle.args)
+                    handle.fn(*handle.args)
                 except StopSimulation:
                     break
                 if self._probe is not None and self._probe.enabled:
-                    self._probe.sim_event(len(self._heap))
+                    self._probe.sim_event(self._size)
                 executed += 1
-            else:
-                # queue drained
-                if not math.isinf(until) and until > self._now:
-                    self._now = until
         finally:
             self._running = False
         return self._now
 
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
-        while self._heap and self._heap[0].handle.cancelled:
-            heapq.heappop(self._heap)
-            self._cancelled -= 1
-        return self._heap[0].time if self._heap else math.inf
+        cur = self._cur
+        while True:
+            keys = self._keys
+            if keys and (not cur or cur[0][0] >= keys[0] * self._width):
+                self._merge_next_bucket()
+                continue
+            if not cur:
+                return math.inf
+            if cur[0][3].cancelled:
+                heappop(cur)
+                self._size -= 1
+                self._cancelled -= 1
+                continue
+            return cur[0][0]
 
     def drain(self) -> int:
         """Cancel every pending event; returns how many were cancelled."""
         n = 0
-        for entry in self._heap:
-            handle = entry.handle
+        for entry in itertools.chain(self._cur, *self._future.values()):
+            handle = entry[3]
             if not handle.cancelled and not handle.fired:
-                # set directly: the entries leave the heap wholesale below,
+                # set directly: the entries leave the queue wholesale below,
                 # so routing through cancel()'s compaction logic is waste
                 handle.cancelled = True
                 n += 1
-        self._heap.clear()
+        self._cur.clear()
+        self._future.clear()
+        self._keys.clear()
+        self._size = 0
         self._cancelled = 0
         return n
 

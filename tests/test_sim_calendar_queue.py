@@ -1,0 +1,295 @@
+"""Property tests for the calendar-queue event engine.
+
+The queue runs pure-heap below ``BUCKET_THRESHOLD`` pending entries and
+switches to bucketed (calendar) mode above it.  These tests force the
+calendar paths with tiny instance-level threshold overrides and check
+them differentially against a simulator pinned to pure-heap mode: both
+must execute identical workloads in identical order, because mode is an
+internal detail the rest of the repo never observes.
+
+Also covers two bugfix regressions:
+
+* ``at()`` must reject NaN/inf absolute times (a NaN compares false
+  against everything and would corrupt the queue's total order);
+* a zero-span event spike (thousands of events at one timestamp) must
+  not shrink the calendar width toward float underflow — the pre-fix
+  code re-sized the width on every overstuffed merge until
+  ``int(time/width)`` overflowed to infinity.
+"""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.sim import (
+    LATE,
+    NORMAL,
+    URGENT,
+    SimulationError,
+    Simulator,
+)
+
+PRIORITIES = (URGENT, NORMAL, LATE)
+
+
+def _calendar_sim(threshold: int = 32, split: int = 128) -> Simulator:
+    """A simulator forced into calendar mode almost immediately."""
+    sim = Simulator()
+    sim.BUCKET_THRESHOLD = threshold
+    sim.BUCKET_SPLIT_SIZE = split
+    return sim
+
+
+def _heap_sim() -> Simulator:
+    """A simulator that can never leave pure-heap mode."""
+    sim = Simulator()
+    sim.BUCKET_THRESHOLD = 10**9
+    return sim
+
+
+def _buried_cancelled(sim: Simulator) -> int:
+    """Ground truth for ``cancelled_pending``: walk both tiers."""
+    return sum(
+        1
+        for e in itertools.chain(sim._cur, *sim._future.values())
+        if e[3].cancelled
+    )
+
+
+def _total_entries(sim: Simulator) -> int:
+    """Ground truth for ``heap_size``: walk both tiers."""
+    return len(sim._cur) + sum(len(b) for b in sim._future.values())
+
+
+def _tied_workload(seed: int, n: int):
+    """(delay, priority, tag) triples with heavy time and priority ties."""
+    rng = random.Random(seed)
+    ops = []
+    for i in range(n):
+        delay = rng.choice(
+            (0.0, 0.25, 1.0, 1.0, 1.0, 7.5, rng.random() * 20.0)
+        )
+        ops.append((delay, rng.choice(PRIORITIES), i))
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# satellite bugfix: at() rejects non-finite absolute times
+# ---------------------------------------------------------------------------
+class TestAtNonFinite:
+    def test_at_rejects_nan(self):
+        with pytest.raises(SimulationError, match="non-finite"):
+            Simulator().at(math.nan, lambda: None)
+
+    def test_at_rejects_inf(self):
+        with pytest.raises(SimulationError, match="non-finite"):
+            Simulator().at(math.inf, lambda: None)
+
+    def test_queue_usable_after_rejection(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.at(math.nan, lambda: None)
+        fired = []
+        sim.at(1.0, fired.append, "ok")
+        sim.run()
+        assert fired == ["ok"]
+
+
+# ---------------------------------------------------------------------------
+# satellite bugfix: _cancelled bookkeeping is an exact buried count
+# ---------------------------------------------------------------------------
+class TestCancelledBookkeeping:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cancelled_pending_equals_buried_count(self, seed):
+        """``cancelled_pending`` must equal the number of cancelled
+        entries physically buried in the queue at every point of a random
+        schedule/cancel/step interleaving — in both queue modes."""
+        rng = random.Random(seed)
+        sim = _calendar_sim(threshold=48)
+        live = []
+        for round_ in range(40):
+            for _ in range(rng.randrange(1, 30)):
+                live.append(
+                    sim.schedule(
+                        rng.random() * 50.0,
+                        lambda: None,
+                        priority=rng.choice(PRIORITIES),
+                    )
+                )
+            for _ in range(rng.randrange(0, 12)):
+                if live:
+                    live.pop(rng.randrange(len(live))).cancel()
+            for _ in range(rng.randrange(0, 6)):
+                sim.step()
+            live = [h for h in live if h.pending]
+            assert sim.cancelled_pending == _buried_cancelled(sim)
+            assert sim.heap_size == _total_entries(sim)
+        sim.run()
+        assert sim.heap_size == 0
+        assert sim.cancelled_pending == 0
+
+    def test_drain_resets_bookkeeping_in_bucket_mode(self):
+        sim = _calendar_sim(threshold=16)
+        handles = [sim.schedule(float(i % 97) + 0.5, lambda: None) for i in range(300)]
+        for h in handles[::3]:
+            h.cancel()
+        expected = len([h for h in handles if not h.cancelled])
+        assert sim.drain() == expected
+        assert sim.heap_size == 0
+        assert sim.cancelled_pending == 0
+        assert sim.peek() == math.inf
+
+
+# ---------------------------------------------------------------------------
+# calendar vs pure-heap differential: mode must be unobservable
+# ---------------------------------------------------------------------------
+class TestCalendarHeapEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_tied_workload_fires_in_identical_order(self, seed):
+        traces = []
+        for sim in (_calendar_sim(), _heap_sim()):
+            trace = []
+            for delay, prio, tag in _tied_workload(seed, 600):
+                sim.schedule(
+                    delay,
+                    lambda t=tag: trace.append((sim.now, t)),
+                    priority=prio,
+                )
+            sim.run()
+            traces.append(trace)
+        assert traces[0] == traces[1]
+        assert len(traces[0]) == 600
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_midrun_scheduling_and_cancellation_match(self, seed):
+        """Events that schedule follow-ups and cancel peers mid-run —
+        exercising bucket merges interleaved with compaction — still
+        execute identically to the pure heap."""
+
+        def drive(sim):
+            rng = random.Random(seed)
+            trace = []
+            live = []
+
+            def fire(tag):
+                trace.append((sim.now, tag))
+                if rng.random() < 0.5:
+                    live.append(
+                        sim.schedule(
+                            rng.choice((0.0, 0.5, 2.0)),
+                            fire,
+                            tag + 10_000,
+                            priority=rng.choice(PRIORITIES),
+                        )
+                    )
+                if live and rng.random() < 0.4:
+                    live.pop(rng.randrange(len(live))).cancel()
+
+            for delay, prio, tag in _tied_workload(seed + 1, 400):
+                live.append(sim.schedule(delay, fire, tag, priority=prio))
+            sim.run(until=40.0)
+            return trace
+
+        assert drive(_calendar_sim(threshold=24)) == drive(_heap_sim())
+
+    def test_far_future_events_fire_last_and_in_order(self):
+        """Times far beyond the initial bucket horizon land in distant
+        buckets (or overflow-abort back to the heap) without disturbing
+        the near-term order."""
+        sim = _calendar_sim(threshold=16)
+        order = []
+        for far in (1e12, 1e6, 1e9):
+            sim.at(far, order.append, far)
+        for i in range(200):
+            sim.schedule(float(i % 13) + 0.1, order.append, i)
+        sim.run()
+        assert order[-3:] == [1e6, 1e9, 1e12]
+        near = order[:-3]
+        assert len(near) == 200
+        # near events sorted by their scheduled time, FIFO within ties
+        times = [float(t % 13) + 0.1 for t in near]
+        assert times == sorted(times)
+
+    def test_astronomical_time_aborts_width_not_the_queue(self):
+        """A pending time whose bucket key would overflow float range
+        makes ``_set_width`` abort (stay pure-heap) rather than raise —
+        and every event still fires in order."""
+        sim = _calendar_sim(threshold=64)
+        order = []
+        sim.at(1e300, order.append, "far")
+        for i in range(500):
+            sim.schedule((i % 50) * 1e-9 + 1e-9, order.append, i)
+        sim.run()
+        assert len(order) == 501
+        assert order[-1] == "far"
+
+
+# ---------------------------------------------------------------------------
+# width adaptation: dense cancellation and zero-span spikes
+# ---------------------------------------------------------------------------
+class TestWidthAdaptation:
+    def test_bucket_resize_under_dense_cancellation(self):
+        """Cancelling most of a bucketed schedule triggers compactions in
+        calendar mode; survivors still fire in exact time order."""
+        rng = random.Random(5)
+        sim = _calendar_sim(threshold=64)
+        handles = []
+        for i in range(4000):
+            handles.append(
+                sim.schedule(rng.random() * 100.0, lambda: None)
+            )
+        survivors = []
+        for h in handles:
+            if rng.random() < 0.7:
+                h.cancel()
+            else:
+                survivors.append(h)
+        assert sim.compactions > 0
+        assert sim.cancelled_pending == _buried_cancelled(sim)
+        fired = []
+        for h in survivors:
+            h.fn = fired.append
+            h.args = (h.time,)
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(survivors)
+        assert sim.heap_size == 0 and sim.cancelled_pending == 0
+
+    def test_zero_span_spike_does_not_underflow_width(self):
+        """Regression: an overstuffed bucket whose events all share one
+        timestamp can never be split by a narrower width.  The pre-fix
+        code shrank the width on every merge regardless, underflowing it
+        until ``int(time/width)`` overflowed to infinity mid-run."""
+        sim = _calendar_sim(threshold=64, split=128)
+        # spread events first so bucket mode engages with a finite span
+        for i in range(80):
+            sim.schedule(float(i) * 0.1 + 0.1, lambda: None)
+        order = []
+        # then a spike: one future bucket holding 400 same-time entries
+        for i in range(400):
+            sim.at(500.0, order.append, i)
+        sim.schedule(600.0, order.append, "after")
+        sim.run()  # pre-fix: OverflowError merging the spike bucket
+        assert order == list(range(400)) + ["after"]
+
+    def test_spike_followed_by_normal_load_keeps_working(self):
+        """After the zero-span merge leaves the width alone, later
+        spread-out events still bucket and fire correctly."""
+        sim = _calendar_sim(threshold=64, split=128)
+        for i in range(80):
+            sim.schedule(float(i) * 0.1 + 0.1, lambda: None)
+        for _ in range(300):
+            sim.at(50.0, lambda: None)
+        order = []
+
+        def reload():
+            for j in range(100):
+                sim.schedule(float(j % 10) + 1.0, order.append, j)
+
+        sim.at(51.0, reload)
+        sim.run()
+        assert len(order) == 100
+        times = [float(j % 10) + 1.0 for j in order]
+        assert times == sorted(times)
