@@ -43,12 +43,16 @@ class Auditor:
         layout,
         tracer: Tracer = NULL_TRACER,
         strict: bool = False,
+        scheme=None,
     ):
+        from ..coding import get_scheme
+
         self.cluster = cluster
         self.layout = layout
         self.tracer = tracer
         self.probe = probe_of(tracer)
         self.strict = strict
+        self.scheme = get_scheme(scheme)
         self.reports: list[AuditReport] = []
         self.n_audits = 0
         self.stale_captures_seen = 0
@@ -69,6 +73,7 @@ class Auditor:
             committed_epoch,
             strict=self.strict if strict is None else strict,
             context=context,
+            scheme=self.scheme,
         )
         self.reports.append(report)
         self.n_audits += 1

@@ -77,6 +77,10 @@ _UNRECOVERABLE_MARKERS = (
     "no eligible parity node",
     "has no committed checkpoint",
     "silently corrupt",
+    # generalized schemes raise "... \u2014 beyond <scheme> tolerance <t>" only
+    # when the erasure pattern provably exceeds the active code's tolerance;
+    # an RS(k,2) double fault that fails recovery does NOT match and is a bug
+    "\u2014 beyond",
 )
 
 
@@ -136,12 +140,18 @@ class FuzzConfig:
     #: widen the fault vocabulary to transient kinds (flap/degrade/drop/
     #: corrupt) and run the checkpointer with a retry policy + scrubber
     transient: bool = False
+    #: erasure-coding scheme spec (see :func:`repro.coding.parse_scheme`);
+    #: the recoverable-vs-unrecoverable classifier follows its tolerance
+    scheme: str = "xor"
 
     def __post_init__(self):
         if self.layout not in LAYOUTS:
             raise ValueError(f"layout must be one of {LAYOUTS}, got {self.layout!r}")
         if self.n_nodes < 3:
             raise ValueError("fuzzing needs >= 3 nodes")
+        from ..coding import parse_scheme
+
+        parse_scheme(self.scheme)  # fail fast on unknown specs
 
 
 @dataclass
@@ -256,13 +266,19 @@ _STRATEGIES = {
 
 def _build(config: FuzzConfig, seed: int, tracer: Tracer):
     """Deterministically build (sim, cluster, checkpointer, auditor)."""
+    from ..coding import parse_scheme
+
     sim = Simulator()
     cluster = VirtualCluster(sim, ClusterSpec(n_nodes=config.n_nodes), tracer=tracer)
     content = np.random.default_rng([seed, 0xC0])
     shape = np.random.default_rng([seed, 0x51])
-    # fig1/fig3 reserve the last node for parity; fig4 computes everywhere
+    coding = parse_scheme(config.scheme)
+    # fig1 reserves one VM-free node per parity shard; fig3 reserves the
+    # dedicated checkpoint node (extra shards rotate over compute nodes);
+    # fig4 computes everywhere
+    reserve = coding.n_shards if config.layout == "fig1" else 1
     compute_nodes = (
-        range(config.n_nodes - 1) if config.layout in ("fig1", "fig3")
+        range(config.n_nodes - reserve) if config.layout in ("fig1", "fig3")
         else range(config.n_nodes)
     )
     per_node = 1 if config.layout == "fig1" else config.vms_per_node
@@ -297,19 +313,19 @@ def _build(config: FuzzConfig, seed: int, tracer: Tracer):
     if config.layout == "fig1":
         ck = first_shot(
             cluster, strategy=strategy, tracer=tracer,
-            retry=retry, retry_rng=retry_rng,
+            retry=retry, retry_rng=retry_rng, scheme=coding,
         )
     elif config.layout == "fig3":
         ck = checkpoint_node(
             cluster, config.n_nodes - 1, strategy=strategy, tracer=tracer,
-            retry=retry, retry_rng=retry_rng,
+            retry=retry, retry_rng=retry_rng, scheme=coding,
         )
     else:
         ck = dvdc(
             cluster, strategy=strategy, tracer=tracer,
-            retry=retry, retry_rng=retry_rng,
+            retry=retry, retry_rng=retry_rng, scheme=coding,
         )
-    auditor = Auditor(cluster, ck.layout, tracer=tracer)
+    auditor = Auditor(cluster, ck.layout, tracer=tracer, scheme=coding)
     ck.attach_auditor(auditor)
     return sim, cluster, ck, auditor
 
@@ -331,7 +347,7 @@ def run_trial(
     if config.transient:
         from ..resilience.scrubber import Scrubber
 
-        scrub = Scrubber(cluster, ck.layout, tracer=tracer)
+        scrub = Scrubber(cluster, ck.layout, tracer=tracer, scheme=ck.scheme)
 
     def kill(node_id: int) -> None:
         if not cluster.node(node_id).alive:
@@ -426,8 +442,8 @@ def run_trial(
                 # two corruptions in one group (or corruption of the last
                 # redundant copy): legitimately beyond single parity
                 raise Unrecoverable(
-                    "silent corruption beyond single-parity tolerance: "
-                    + ", ".join(report.unrepairable)
+                    f"silent corruption \u2014 beyond {ck.scheme.name} "
+                    "tolerance: " + ", ".join(report.unrepairable)
                 )
         auditor.run(ck.committed_epoch, context=f"quiescent:{where}", strict=True)
         for vm_id, want in expected.items():

@@ -29,11 +29,13 @@ yield *degraded* findings, which only count as violations under
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import combinations
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..cluster.xorsum import reconstruct_missing_padded, xor_reduce_padded
+from ..coding import XorScheme, get_scheme, shard_key
 from ..core.placement import validate_layout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -106,8 +108,13 @@ def check_parity_coherence(
     cluster: "VirtualCluster",
     layout: "GroupLayout",
     strict: bool = False,
+    scheme=None,
 ) -> list[Violation]:
-    """Stored parity == padded XOR of members' committed payloads."""
+    """Stored shards == the active scheme's encode of members' committed
+    payloads (padded XOR for the default :class:`~repro.coding.XorScheme`)."""
+    coding = get_scheme(scheme)
+    if not isinstance(coding, XorScheme):
+        return _check_shard_coherence(cluster, layout, strict, coding)
     out: list[Violation] = []
     for g in layout.groups:
         subject = f"group {g.group_id}"
@@ -173,10 +180,156 @@ def check_parity_coherence(
     return out
 
 
+#: cap on exhaustive erasure-pattern enumeration per group (deterministic
+#: prefix is kept when a very wide group x tolerance combination overflows)
+_MAX_ERASURE_PATTERNS = 1024
+
+
+def _check_shard_coherence(cluster, layout, strict, coding) -> list[Violation]:
+    """Multi-shard form of parity coherence: every stored shard equals the
+    corresponding row of ``coding.encode`` over the committed payloads."""
+    out: list[Violation] = []
+    for g in layout.groups:
+        subject = f"group {g.group_id}"
+        blocks: list[tuple[int, object]] = []
+        for j, pnode_id in enumerate(g.parity_nodes):
+            pnode = cluster.node(pnode_id)
+            if not pnode.alive:
+                out.append(Violation(
+                    "parity-coherence", _severity(strict), subject,
+                    f"shard {j} home node {pnode_id} is down",
+                ))
+                continue
+            block = pnode.parity_store.get(shard_key(g.group_id, j))
+            if block is None:
+                out.append(Violation(
+                    "parity-coherence", _severity(strict), subject,
+                    f"no shard {j} block on node {pnode_id}",
+                ))
+                continue
+            blocks.append((j, block))
+        payloads = []
+        auditable = True
+        for v in g.member_vm_ids:
+            vm = cluster.vm(v)
+            if vm.node_id is None:
+                out.append(Violation(
+                    "parity-coherence", _severity(strict), subject,
+                    f"member vm {v} failed — group unauditable",
+                ))
+                auditable = False
+                break
+            img = cluster.hypervisor(vm.node_id).committed(v)
+            if img is None:
+                out.append(Violation(
+                    "parity-coherence", _severity(strict), subject,
+                    f"member vm {v} has no committed checkpoint",
+                ))
+                auditable = False
+                break
+            payloads.append(img.payload_flat() if img.payload is not None else None)
+        if not auditable or not blocks:
+            continue
+        if any(p is None for p in payloads) or any(b.data is None for _, b in blocks):
+            continue  # timing-only run: nothing functional to compare
+        expect = coding.encode(payloads)
+        for j, block in blocks:
+            want, got = expect[j], block.data
+            if got.shape[0] != want.shape[0]:
+                out.append(Violation(
+                    "parity-coherence", FATAL, subject,
+                    f"shard {j} length {got.shape[0]} != encoded "
+                    f"length {want.shape[0]}",
+                ))
+                continue
+            if not np.array_equal(got, want):
+                nbad = int(np.count_nonzero(got != want))
+                out.append(Violation(
+                    "parity-coherence", FATAL, subject,
+                    f"shard {j} differs from {coding.name} encode "
+                    f"in {nbad} byte(s)",
+                ))
+    return out
+
+
+def _check_erasures_recoverable(cluster, layout, strict, coding) -> list[Violation]:
+    """Constructive recoverability for every erasure pattern of size
+    <= ``coding.tolerance`` touching at least one member: decode and
+    compare the rebuilt members bit-exactly against committed payloads."""
+    out: list[Violation] = []
+    t, m = coding.tolerance, coding.n_shards
+    for g in layout.groups:
+        k = len(g.member_vm_ids)
+        shards: list[np.ndarray] = []
+        available = True
+        for j, pnode_id in enumerate(g.parity_nodes):
+            pnode = cluster.node(pnode_id)
+            block = (
+                pnode.parity_store.get(shard_key(g.group_id, j))
+                if pnode.alive else None
+            )
+            if block is None or block.data is None:
+                available = False
+                break
+            shards.append(block.data)
+        if not available:
+            continue  # availability handled by parity-coherence
+        images = {}
+        for v in g.member_vm_ids:
+            vm = cluster.vm(v)
+            img = (
+                cluster.hypervisor(vm.node_id).committed(v)
+                if vm.node_id is not None
+                else None
+            )
+            if img is None or img.payload is None:
+                images = None
+                break
+            images[v] = img.payload_flat()
+        if images is None:
+            continue  # unauditable; parity-coherence already flagged it
+        member_list = [images[v] for v in g.member_vm_ids]
+        length = max(p.shape[0] for p in member_list)
+        patterns = [
+            combo
+            for r in range(1, t + 1)
+            for combo in combinations(range(k + m), r)
+            if any(slot < k for slot in combo)
+        ]
+        patterns = patterns[:_MAX_ERASURE_PATTERNS]
+        for combo in patterns:
+            mem = [None if i in combo else member_list[i] for i in range(k)]
+            shd = [None if (k + j) in combo else shards[j] for j in range(m)]
+            try:
+                rebuilt = coding.reconstruct(mem, shd, nbytes=length)
+            except Exception as exc:
+                out.append(Violation(
+                    "erasure-recoverable", FATAL, f"group {g.group_id}",
+                    f"pattern {combo} within tolerance {t} failed to "
+                    f"decode: {exc}",
+                ))
+                continue
+            for i in combo:
+                if i >= k:
+                    continue
+                want = member_list[i]
+                got = rebuilt[i][: want.shape[0]]
+                if not np.array_equal(got, want):
+                    nbad = int(np.count_nonzero(got != want))
+                    out.append(Violation(
+                        "erasure-recoverable", FATAL,
+                        f"vm {g.member_vm_ids[i]}",
+                        f"pattern {combo}: rebuilt image differs from "
+                        f"committed in {nbad} byte(s)",
+                    ))
+    return out
+
+
 def check_layout_validity(
     cluster: "VirtualCluster",
     layout: "GroupLayout",
     strict: bool = False,
+    scheme=None,
 ) -> list[Violation]:
     """Orthogonality + parity independence (Fig. 2).
 
@@ -186,7 +339,7 @@ def check_layout_validity(
     purpose).  ``heal()`` repairs them once nodes return — so these are
     fatal only under ``strict`` (quiescent cluster, everything repaired).
     """
-    report = validate_layout(layout, cluster, tolerance=1)
+    report = validate_layout(layout, cluster, tolerance=get_scheme(scheme).tolerance)
     return [
         Violation("layout-validity", _severity(strict), "layout", err)
         for err in report.errors
@@ -204,13 +357,16 @@ def check_epoch_coherence(
     if committed_epoch < 0:
         return out  # nothing committed yet: trivially coherent
     for g in layout.groups:
-        pnode = cluster.node(g.parity_node)
-        if pnode.alive:
-            block = pnode.parity_store.get(g.group_id)
+        for j, pnode_id in enumerate(g.parity_nodes):
+            pnode = cluster.node(pnode_id)
+            if not pnode.alive:
+                continue
+            block = pnode.parity_store.get(shard_key(g.group_id, j))
             if block is not None and block.epoch != committed_epoch:
                 out.append(Violation(
                     "epoch-coherence", FATAL, f"group {g.group_id}",
-                    f"parity epoch {block.epoch} != committed {committed_epoch}",
+                    f"shard {j} epoch {block.epoch} != committed "
+                    f"{committed_epoch}",
                 ))
         for v in g.member_vm_ids:
             vm = cluster.vm(v)
@@ -278,10 +434,15 @@ def check_single_failure_recoverable(
     cluster: "VirtualCluster",
     layout: "GroupLayout",
     strict: bool = False,
+    scheme=None,
 ) -> list[Violation]:
     """Constructive recoverability: rebuild each member from the others
     + parity (the actual recovery computation) and compare bit-exactly
-    against its committed payload."""
+    against its committed payload.  For multi-shard schemes this widens
+    to every erasure pattern of size <= the scheme's tolerance."""
+    coding = get_scheme(scheme)
+    if not isinstance(coding, XorScheme):
+        return _check_erasures_recoverable(cluster, layout, strict, coding)
     out: list[Violation] = []
     for g in layout.groups:
         pnode = cluster.node(g.parity_node)
@@ -329,6 +490,7 @@ def audit_cluster(
     committed_epoch: int,
     strict: bool = False,
     context: str = "",
+    scheme=None,
 ) -> AuditReport:
     """Run every invariant checker and aggregate the findings.
 
@@ -344,8 +506,12 @@ def audit_cluster(
     )
     if committed_epoch < 0:
         return report  # nothing committed yet: nothing to audit
-    report.violations.extend(check_parity_coherence(cluster, layout, strict))
-    report.violations.extend(check_layout_validity(cluster, layout, strict))
+    report.violations.extend(
+        check_parity_coherence(cluster, layout, strict, scheme=scheme)
+    )
+    report.violations.extend(
+        check_layout_validity(cluster, layout, strict, scheme=scheme)
+    )
     report.violations.extend(
         check_epoch_coherence(cluster, layout, committed_epoch, strict)
     )
@@ -353,6 +519,6 @@ def audit_cluster(
         check_two_phase_atomicity(cluster, layout, committed_epoch, strict)
     )
     report.violations.extend(
-        check_single_failure_recoverable(cluster, layout, strict)
+        check_single_failure_recoverable(cluster, layout, strict, scheme=scheme)
     )
     return report

@@ -125,9 +125,47 @@ def _report_failures(campaign) -> None:
               file=sys.stderr)
 
 
+def _fig5_scheme_sweep(args: argparse.Namespace) -> int:
+    """Analytic scheme comparison: loss probability vs overhead.
+
+    For each coding scheme, prints its erasure tolerance, storage and
+    traffic overheads at this cluster's group size, and the probability
+    that failures during a degraded window exceed the scheme's remaining
+    tolerance (:func:`repro.model.montecarlo.window_loss_probability`).
+    """
+    from .coding import parse_scheme
+    from .model.montecarlo import window_loss_probability
+
+    specs = args.scheme or ["xor", "rdp", "rs-8-2", "rep-3"]
+    lam_node = 1.0 / (args.mtbf * 3600.0) / args.nodes
+    rows = []
+    for spec in specs:
+        sch = parse_scheme(spec)
+        k = max(1, args.nodes - sch.n_shards)
+        p = window_loss_probability(
+            lam_node, args.nodes, args.window, tolerance=sch.tolerance
+        )
+        rows.append([
+            sch.name, sch.tolerance, sch.n_shards,
+            f"{sch.storage_overhead(k):.2f}x",
+            f"{sch.traffic_factor(k):.1f}x",
+            f"{p:.3e}",
+        ])
+    print(render_table(
+        ["scheme", "tolerance", "shards", "storage", "traffic",
+         "P(loss in window)"],
+        rows,
+        title=f"coding schemes @ {args.nodes} nodes, MTBF {args.mtbf:g} h, "
+              f"window {args.window:g} s (k = nodes - shards)",
+    ))
+    return 0
+
+
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from .campaign import run_fig5_campaign
 
+    if args.scheme is not None:
+        return _fig5_scheme_sweep(args)
     cluster = ClusterModel(
         n_nodes=args.nodes,
         vms_per_node=args.vms_per_node,
@@ -532,8 +570,13 @@ def _audit_heal(args: argparse.Namespace) -> int:
                 0, rng.integers(0, 256, vm.image.nbytes // 2, dtype=np.uint8)
             )
             vm.image.clear_dirty()
+    from .coding import parse_scheme
+
     spares = SparePool.provision(cluster, args.spares)
-    ck = dvdc(cluster, group_size=args.nodes - 1)
+    n_shards = parse_scheme(args.scheme).n_shards
+    ck = dvdc(
+        cluster, group_size=max(1, args.nodes - n_shards), scheme=args.scheme
+    )
     healer = SelfHealer(ck, spares=spares)
     out = {}
 
@@ -565,7 +608,7 @@ def _audit_heal(args: argparse.Namespace) -> int:
     for issue in report.issues:
         print(f"  outstanding: {issue}")
     if report.state == ClusterHealth.PROTECTED:
-        auditor = Auditor(cluster, ck.layout)
+        auditor = Auditor(cluster, ck.layout, scheme=ck.scheme)
         auditor.run(ck.committed_epoch, context="post-heal", strict=True)
         for v in auditor.violations:
             print(f"  {v}")
@@ -593,6 +636,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             heterogeneous=args.heterogeneous,
             strategy=args.strategy,
             transient=args.transient,
+            scheme=args.scheme,
         )
         if args.fuzz:
             result = fuzz(
@@ -612,6 +656,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                   result.n_violations, transients,
                   format_seconds(result.elapsed)]],
                 title=f"audit fuzz: {layout}"
+                      + (f" [{args.scheme}]" if args.scheme != "xor" else "")
                       + (" +transient" if args.transient else "")
                       + (" (budget exhausted)" if result.budget_exhausted else ""),
             ))
@@ -672,6 +717,13 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     print(f"  heap bench: {hp['ops_per_sec']:,.0f} ops/s, peak heap "
           f"{hp['peak_heap']} of {hp['n_events']:,} scheduled "
           f"({hp['compactions']} compactions)")
+    cb = result.get("coding_bench")
+    if cb:
+        print(f"  coding bench: RS({cb['k']},{cb['m']}) encode "
+              f"{cb['rs_encode_mbps']:,.0f} MB/s, decode "
+              f"{cb['rs_decode_mbps']:,.0f} MB/s "
+              f"(XOR {cb['xor_encode_mbps']:,.0f}/"
+              f"{cb['xor_decode_mbps']:,.0f} MB/s)")
     if args.write:
         with open(args.out, "w", encoding="utf-8") as fh:
             _json.dump(result, fh, indent=2)
@@ -1058,6 +1110,12 @@ def build_parser() -> argparse.ArgumentParser:
     f5.add_argument("--dirty-rate", type=float, default=2e5,
                     help="per-VM dirty rate, bytes/s")
     f5.add_argument("--plot", action="store_true", help="ASCII curve")
+    f5.add_argument("--scheme", nargs="*", default=None, metavar="SPEC",
+                    help="compare coding schemes analytically instead of "
+                         "running the campaign; bare --scheme sweeps "
+                         "xor, rdp, rs-8-2 and rep-3")
+    f5.add_argument("--window", type=float, default=300.0,
+                    help="scheme sweep: degraded-window length, seconds")
     _add_campaign_flags(f5)
     f5.set_defaults(func=_cmd_fig5)
 
@@ -1187,6 +1245,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="mix VM memory sizes within groups")
     au.add_argument("--strategy", choices=["forked", "full", "incremental"],
                     default="forked", help="capture strategy for trials")
+    au.add_argument("--scheme", default="xor",
+                    help="coding scheme for trials: xor, rdp, rs-<k>-<m>, "
+                         "rep-<n> (default xor)")
     au.set_defaults(func=_cmd_audit)
 
     be = sub.add_parser("bench", help="performance benchmarks")

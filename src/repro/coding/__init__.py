@@ -1,0 +1,54 @@
+"""Pluggable erasure-coding schemes (XOR, RDP, Reed–Solomon, replication).
+
+See :mod:`repro.coding.schemes` for the :class:`CodingScheme` interface
+and ``docs/coding.md`` for the scheme matrix and custom-scheme
+registration.
+"""
+
+from .gf256 import (
+    GF_EXP,
+    GF_LOG,
+    MUL_TABLE,
+    cauchy_matrix,
+    gf_div,
+    gf_inv,
+    gf_matinv,
+    gf_matmul,
+    gf_mul,
+    gf_mul_vec,
+)
+from .schemes import (
+    CodingScheme,
+    ReedSolomonScheme,
+    ReplicationScheme,
+    RDPScheme,
+    XorScheme,
+    available_schemes,
+    get_scheme,
+    parse_scheme,
+    register_scheme,
+    shard_key,
+)
+
+__all__ = [
+    "GF_EXP",
+    "GF_LOG",
+    "MUL_TABLE",
+    "cauchy_matrix",
+    "gf_div",
+    "gf_inv",
+    "gf_matinv",
+    "gf_matmul",
+    "gf_mul",
+    "gf_mul_vec",
+    "CodingScheme",
+    "ReedSolomonScheme",
+    "ReplicationScheme",
+    "RDPScheme",
+    "XorScheme",
+    "available_schemes",
+    "get_scheme",
+    "parse_scheme",
+    "register_scheme",
+    "shard_key",
+]

@@ -1,0 +1,157 @@
+"""GF(256) arithmetic kernels for Reed–Solomon erasure coding.
+
+The field is :math:`GF(2^8)` with the AES-adjacent primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d), the conventional choice for
+storage erasure codes.  Scalars are plain ints in ``range(256)``;
+vectors are ``uint8`` numpy arrays.
+
+Two lookup structures drive everything:
+
+* ``GF_EXP`` / ``GF_LOG`` — the discrete log/antilog tables used for
+  scalar multiply, divide, and inverse.
+* ``MUL_TABLE`` — the full 256×256 product table.  Multiplying a whole
+  buffer by a scalar coefficient is a single vectorized numpy gather
+  (``MUL_TABLE[c][vec]``), which is what makes RS(k, m) encode a
+  handful of fancy-index + XOR passes instead of a Python loop.
+
+The matrix helpers (:func:`gf_matmul`, :func:`gf_matinv`) operate on
+small ``k × k`` systematic-code matrices — Gauss–Jordan over GF(256) —
+and are only ever applied to matrices whose invertibility the MDS
+property guarantees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Primitive polynomial for the field (x^8 + x^4 + x^3 + x^2 + 1).
+GF_POLY = 0x11D
+
+_exp = np.zeros(512, dtype=np.uint8)
+_log = np.zeros(256, dtype=np.int32)
+_x = 1
+for _i in range(255):
+    _exp[_i] = _x
+    _log[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= GF_POLY
+# Duplicate the cycle so gf_mul can skip the mod-255 reduction.
+_exp[255:510] = _exp[:255]
+
+#: Antilog table, doubled so ``GF_EXP[a + b]`` needs no ``% 255``.
+GF_EXP = _exp
+#: Discrete log table; ``GF_LOG[0]`` is unused (log of zero is undefined).
+GF_LOG = _log
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Scalar product ``a * b`` in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(GF_EXP[int(GF_LOG[a]) + int(GF_LOG[b])])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse of ``a``; raises on ``a == 0``."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return int(GF_EXP[255 - int(GF_LOG[a])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Scalar quotient ``a / b`` in GF(256); raises on ``b == 0``."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(GF_EXP[int(GF_LOG[a]) - int(GF_LOG[b]) + 255])
+
+
+def _build_mul_table() -> np.ndarray:
+    """The full 256×256 product table via one outer log-sum gather."""
+    logs = GF_LOG.astype(np.int64)
+    table = GF_EXP[logs[:, None] + logs[None, :]].astype(np.uint8)
+    table[0, :] = 0
+    table[:, 0] = 0
+    return table
+
+
+#: ``MUL_TABLE[a][b] == a * b`` in GF(256); row gathers vectorize
+#: coefficient-times-buffer products.
+MUL_TABLE = _build_mul_table()
+MUL_TABLE.setflags(write=False)
+
+
+def gf_mul_vec(coeff: int, vec: np.ndarray) -> np.ndarray:
+    """Vectorized ``coeff * vec`` over a uint8 buffer (table gather)."""
+    if coeff == 0:
+        return np.zeros_like(vec)
+    if coeff == 1:
+        return vec.copy()
+    return MUL_TABLE[coeff][vec]
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256) for small uint8 matrices."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    n, k = a.shape
+    k2, m = b.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
+    out = np.zeros((n, m), dtype=np.uint8)
+    for i in range(n):
+        row = a[i]
+        acc = np.zeros(m, dtype=np.uint8)
+        for j in range(k):
+            c = int(row[j])
+            if c:
+                acc ^= MUL_TABLE[c][b[j]]
+        out[i] = acc
+    return out
+
+
+def gf_matinv(m: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(256) by Gauss–Jordan elimination.
+
+    Raises :class:`np.linalg.LinAlgError` if the matrix is singular —
+    which for an MDS code's survivor submatrix would indicate a bug,
+    not an unlucky erasure pattern.
+    """
+    m = np.asarray(m, dtype=np.uint8)
+    n = m.shape[0]
+    if m.shape != (n, n):
+        raise ValueError(f"matrix must be square, got {m.shape}")
+    aug = np.concatenate([m.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if aug[r, col]), None)
+        if pivot is None:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        inv_p = gf_inv(int(aug[col, col]))
+        aug[col] = MUL_TABLE[inv_p][aug[col]]
+        for r in range(n):
+            if r != col and aug[r, col]:
+                aug[r] ^= MUL_TABLE[int(aug[r, col])][aug[col]]
+    return aug[:, n:].copy()
+
+
+def cauchy_matrix(k: int, m: int) -> np.ndarray:
+    """The ``m × k`` Cauchy block of a systematic RS generator.
+
+    ``C[i][j] = 1 / (x_i + y_j)`` with ``x_i = k + i`` and ``y_j = j``
+    — disjoint evaluation points, so every entry is defined and every
+    square submatrix of ``[I_k ; C]`` is invertible (the MDS property).
+    Requires ``k + m <= 256``.
+    """
+    if k < 1 or m < 1:
+        raise ValueError(f"need k >= 1 and m >= 1, got k={k} m={m}")
+    if k + m > 256:
+        raise ValueError(f"RS over GF(256) needs k + m <= 256, got {k + m}")
+    c = np.zeros((m, k), dtype=np.uint8)
+    for i in range(m):
+        for j in range(k):
+            c[i, j] = gf_inv((k + i) ^ j)
+    return c

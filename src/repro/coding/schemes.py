@@ -1,0 +1,503 @@
+"""Pluggable erasure-coding schemes for checkpoint parity groups.
+
+:class:`CodingScheme` abstracts what ``core.dvdc`` historically
+hard-coded: *one* XOR parity shard per RAID group.  A scheme maps the
+``k`` member images of a group to ``m = n_shards`` parity shards placed
+on ``m`` distinct non-member nodes, and can rebuild any erasure pattern
+of at most :attr:`~CodingScheme.tolerance` lost elements (members and
+shards alike).
+
+Four schemes ship:
+
+========== ========= ========== ================= =================
+name       shards m  tolerance  storage overhead  exchange traffic
+========== ========= ========== ================= =================
+``xor``    1         1          1/k               1x
+``rdp``    2         2          ~2/k              2x
+``rs-k-m`` m         m          m/k               m×
+``rep-n``  n−1       n−1        (n−1)·k/k         (n−1)×
+========== ========= ========== ================= =================
+
+All four are linear over GF(2) — ``encode(a ⊕ b) == encode(a) ⊕
+encode(b)`` for fixed member count and coding length — which is what
+lets the incremental small-write fold generalize: XOR the encode of the
+*deltas* into the previous shards.
+
+Buffers may have heterogeneous lengths; ``encode`` zero-pads to the
+longest member (the padded-XOR convention the stack already uses) and
+``reconstruct`` returns members at the scheme's working length, which
+the caller trims to each member's own logical size.
+
+Register additional schemes with :func:`register_scheme`; resolve specs
+like ``"rs-8-2"`` with :func:`get_scheme`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cluster.xorsum import as_u8, reconstruct_missing_padded, xor_reduce_padded
+from .gf256 import MUL_TABLE, cauchy_matrix, gf_matinv
+
+
+def _coding_error() -> "type[RuntimeError]":
+    """:class:`repro.core.parity.ParityCodeError`, imported lazily.
+
+    ``repro.core``'s package init imports :mod:`repro.core.dvdc`, which
+    needs this package — a top-level import here would make the import
+    graph order-dependent.  Deferring to call time breaks the cycle.
+    """
+    from ..core.parity import ParityCodeError
+
+    return ParityCodeError
+
+__all__ = [
+    "CodingScheme",
+    "XorScheme",
+    "RDPScheme",
+    "ReedSolomonScheme",
+    "ReplicationScheme",
+    "get_scheme",
+    "parse_scheme",
+    "register_scheme",
+    "available_schemes",
+    "shard_key",
+]
+
+#: Upper bound on shards-per-group baked into the shard_key packing.
+MAX_SHARDS = 16
+
+
+def shard_key(group_id: int, shard_index: int) -> int:
+    """Parity-store key for shard ``shard_index`` of group ``group_id``.
+
+    Shard 0 keeps the plain group id — bit-compatible with every
+    existing single-parity code path.  Higher shards use negative keys
+    (the convention ``core.double_parity`` introduced for its diagonal
+    shard) packed so keys are unique across ``(group, shard)`` pairs.
+    """
+    if not 0 <= shard_index < MAX_SHARDS:
+        raise ValueError(f"shard index {shard_index} out of range")
+    if shard_index == 0:
+        return group_id
+    return -(group_id * MAX_SHARDS + shard_index)
+
+
+def _pad_members(
+    members: Sequence[np.ndarray | bytes], length: int | None = None
+) -> tuple[list[np.ndarray], int]:
+    """Zero-pad members to a common working length (the longest, or
+    ``length`` when the caller pins it)."""
+    bufs = [as_u8(m) for m in members]
+    if not bufs:
+        raise _coding_error()("empty member list")
+    n = max(b.shape[0] for b in bufs)
+    if length is not None:
+        if length < n:
+            raise _coding_error()(f"coding length {length} < longest member {n}")
+        n = length
+    out = []
+    for b in bufs:
+        if b.shape[0] == n:
+            out.append(b)
+        else:
+            p = np.zeros(n, dtype=np.uint8)
+            p[: b.shape[0]] = b
+            out.append(p)
+    return out, n
+
+
+class CodingScheme:
+    """Interface every coding scheme implements.
+
+    Attributes
+    ----------
+    name:
+        Registry spelling (``"xor"``, ``"rdp"``, ``"rs-8-2"``, ``"rep-3"``).
+    n_shards:
+        ``m`` — parity shards per group, each on a distinct non-member
+        node.
+    tolerance:
+        Maximum simultaneous erasures (members + shards) the scheme
+        repairs.
+    linear:
+        True when ``encode`` is GF(2)-linear at fixed ``(k, length)``,
+        enabling the incremental delta fold.
+    """
+
+    name: str = "abstract"
+    n_shards: int = 0
+    tolerance: int = 0
+    linear: bool = True
+
+    def encode(self, members: Sequence[np.ndarray | bytes]) -> list[np.ndarray]:
+        """Members (any lengths, zero-pad semantics) → ``m`` shards."""
+        raise NotImplementedError
+
+    def reconstruct(
+        self,
+        members: Sequence[np.ndarray | None],
+        shards: Sequence[np.ndarray | None],
+        nbytes: int | None = None,
+    ) -> list[np.ndarray]:
+        """Rebuild missing members from survivors + surviving shards.
+
+        ``members`` is the full ``k``-list with ``None`` marking losses;
+        ``shards`` likewise (length ``m``).  Rebuilt members come back at
+        the scheme's working length — callers trim to each member's own
+        logical size.  ``nbytes`` pins the working length when no shard
+        survives to infer it from.
+
+        Raises :class:`ParityCodeError` when the erasure pattern exceeds
+        :attr:`tolerance`.
+        """
+        raise NotImplementedError
+
+    def storage_overhead(self, k: int) -> float:
+        """Extra bytes stored per group data byte (shards / members)."""
+        raise NotImplementedError
+
+    def traffic_factor(self, k: int) -> float:
+        """Exchange bytes shipped per checkpoint byte (m-way fan-out)."""
+        return float(self.n_shards)
+
+    def shard_length(self, member_length: int, k: int) -> int:
+        """Working shard length for members padded to ``member_length``."""
+        return member_length
+
+    def working_length(self, shard_length: int, k: int) -> int:
+        """Member working (padded) length implied by a shard's length."""
+        return shard_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} m={self.n_shards} t={self.tolerance}>"
+
+
+def _missing_count(
+    members: Sequence[np.ndarray | None], shards: Sequence[np.ndarray | None]
+) -> tuple[list[int], int]:
+    lost_members = [i for i, m in enumerate(members) if m is None]
+    lost_shards = sum(1 for s in shards if s is None)
+    return lost_members, lost_shards
+
+
+class XorScheme(CodingScheme):
+    """Single-parity XOR (the paper's RAID-4/5 analogue), as a scheme.
+
+    Delegates to the exact :mod:`repro.cluster.xorsum` kernels the
+    checkpointer always used, so parity bytes are bit-identical to the
+    pre-scheme code path (the golden ``scale64.json`` digests prove it).
+    """
+
+    name = "xor"
+    n_shards = 1
+    tolerance = 1
+
+    def encode(self, members: Sequence[np.ndarray | bytes]) -> list[np.ndarray]:
+        return [xor_reduce_padded(members)]
+
+    def reconstruct(
+        self,
+        members: Sequence[np.ndarray | None],
+        shards: Sequence[np.ndarray | None],
+        nbytes: int | None = None,
+    ) -> list[np.ndarray]:
+        lost, lost_shards = _missing_count(members, shards)
+        if len(lost) + lost_shards > self.tolerance:
+            raise _coding_error()(
+                f"xor tolerates 1 erasure, {len(lost) + lost_shards} lost"
+            )
+        if not lost:
+            return [as_u8(m).copy() for m in members]  # type: ignore[arg-type]
+        parity = shards[0]
+        if parity is None:
+            raise _coding_error()("cannot rebuild a member without the parity shard")
+        parity = as_u8(parity)
+        survivors = [as_u8(m) for m in members if m is not None]
+        rebuilt = reconstruct_missing_padded(survivors, parity, parity.shape[0])
+        return [
+            rebuilt if i == lost[0] else as_u8(m).copy()
+            for i, m in enumerate(members)
+        ]
+
+    def storage_overhead(self, k: int) -> float:
+        return 1.0 / k
+
+
+class RDPScheme(CodingScheme):
+    """Row-Diagonal Parity re-expressed on the scheme interface.
+
+    Wraps :class:`repro.core.parity.RDPCode` (one cached codec per
+    member count), so shard bytes are identical to the standalone
+    double-parity checkpointer's.
+    """
+
+    name = "rdp"
+    n_shards = 2
+    tolerance = 2
+
+    def __init__(self) -> None:
+        self._codes: dict[int, RDPCode] = {}
+
+    def _code(self, k: int) -> RDPCode:
+        code = self._codes.get(k)
+        if code is None:
+            from ..core.parity import RDPCode  # lazy: avoids import cycle
+
+            code = self._codes[k] = RDPCode(k)
+        return code
+
+    def encode(self, members: Sequence[np.ndarray | bytes]) -> list[np.ndarray]:
+        padded, _ = _pad_members(members)
+        return self._code(len(padded)).encode(padded)
+
+    def reconstruct(
+        self,
+        members: Sequence[np.ndarray | None],
+        shards: Sequence[np.ndarray | None],
+        nbytes: int | None = None,
+    ) -> list[np.ndarray]:
+        code = self._code(len(members))
+        length = nbytes
+        for s in shards:
+            if s is not None:
+                # Stripe length: members padded to it satisfy the same
+                # row/diagonal equations as the encode-time columns.
+                length = as_u8(s).shape[0]
+                break
+        survivors = [m for m in members if m is not None]
+        if length is None and survivors:
+            raw = max(as_u8(m).shape[0] for m in survivors)
+            length = code._rowbytes(raw) * (code.p - 1)
+        padded = [
+            None if m is None else _pad_members([m], length)[0][0] for m in members
+        ]
+        return code.reconstruct(padded, list(shards), nbytes=length)
+
+    def storage_overhead(self, k: int) -> float:
+        return 2.0 / k
+
+    def shard_length(self, member_length: int, k: int) -> int:
+        code = self._code(k)
+        return code._rowbytes(member_length) * (code.p - 1)
+
+
+class ReedSolomonScheme(CodingScheme):
+    """Systematic Reed–Solomon RS(k, m) over GF(256).
+
+    Generator ``[I_k ; C]`` with ``C`` an ``m × k`` Cauchy block (any
+    square submatrix invertible — the MDS property), so *any* ``m``
+    erasures among the ``k + m`` elements are repairable.  Encode is
+    vectorized: per coefficient, one ``MUL_TABLE`` gather over the whole
+    member buffer plus an XOR accumulate.  Decode inverts the ``k × k``
+    survivor submatrix by Gauss–Jordan over GF(256) and re-projects.
+
+    ``k`` is bound per group at encode time (the spec's ``k`` — e.g. the
+    8 in ``rs-8-2`` — is advisory, used for bench naming and overhead
+    math); coefficient matrices are cached per member count.
+    """
+
+    def __init__(self, m: int = 2, k_hint: int = 8) -> None:
+        if m < 1:
+            raise ValueError(f"need m >= 1 parity shards, got {m}")
+        self.n_shards = m
+        self.tolerance = m
+        self.k_hint = k_hint
+        self.name = f"rs-{k_hint}-{m}"
+        self._cauchy: dict[int, np.ndarray] = {}
+
+    def _matrix(self, k: int) -> np.ndarray:
+        mat = self._cauchy.get(k)
+        if mat is None:
+            mat = self._cauchy[k] = cauchy_matrix(k, self.n_shards)
+        return mat
+
+    def encode(self, members: Sequence[np.ndarray | bytes]) -> list[np.ndarray]:
+        padded, length = _pad_members(members)
+        cmat = self._matrix(len(padded))
+        shards = []
+        for i in range(self.n_shards):
+            acc = np.zeros(length, dtype=np.uint8)
+            for j, m in enumerate(padded):
+                c = int(cmat[i, j])
+                if c == 1:
+                    acc ^= m
+                elif c:
+                    acc ^= MUL_TABLE[c][m]
+            shards.append(acc)
+        return shards
+
+    def reconstruct(
+        self,
+        members: Sequence[np.ndarray | None],
+        shards: Sequence[np.ndarray | None],
+        nbytes: int | None = None,
+    ) -> list[np.ndarray]:
+        k = len(members)
+        lost, lost_shards = _missing_count(members, shards)
+        if len(lost) + lost_shards > self.tolerance:
+            raise _coding_error()(
+                f"{self.name} tolerates {self.tolerance} erasures, "
+                f"{len(lost) + lost_shards} lost"
+            )
+        if not lost:
+            return [as_u8(m).copy() for m in members]  # type: ignore[arg-type]
+        length = nbytes
+        for s in shards:
+            if s is not None:
+                length = as_u8(s).shape[0]
+                break
+        if length is None:
+            raise _coding_error()("no surviving shard; pass nbytes")
+        cmat = self._matrix(k)
+        # Generator rows: identity for members, Cauchy rows for shards.
+        # Pick k surviving rows, invert, solve for the data vector.
+        rows: list[np.ndarray] = []
+        rhs: list[np.ndarray] = []
+        for j, m in enumerate(members):
+            if m is not None:
+                row = np.zeros(k, dtype=np.uint8)
+                row[j] = 1
+                rows.append(row)
+                rhs.append(_pad_members([m], length)[0][0])
+        for i, s in enumerate(shards):
+            if s is not None and len(rows) < k:
+                rows.append(cmat[i])
+                rhs.append(as_u8(s))
+        if len(rows) < k:
+            raise _coding_error()(
+                f"{self.name}: only {len(rows)} survivors for {k} unknowns"
+            )
+        inv = gf_matinv(np.stack(rows[:k]))
+        rhs_mat = rhs[:k]
+        out = list(members)
+        for j in lost:
+            acc = np.zeros(length, dtype=np.uint8)
+            for c_idx in range(k):
+                c = int(inv[j, c_idx])
+                if c == 1:
+                    acc ^= rhs_mat[c_idx]
+                elif c:
+                    acc ^= MUL_TABLE[c][rhs_mat[c_idx]]
+            out[j] = acc
+        return [as_u8(m).copy() if i not in lost else out[i] for i, m in enumerate(out)]
+
+    def storage_overhead(self, k: int) -> float:
+        return self.n_shards / k
+
+
+class ReplicationScheme(CodingScheme):
+    """Replication-n: every shard is a full copy of the group's data.
+
+    Each of the ``m = n − 1`` shards concatenates all ``k`` members
+    (padded to the longest), so *one* surviving shard rebuilds the whole
+    group: any erasure pattern that leaves a shard — or all members —
+    alive is repairable, hence tolerance ``n − 1``.  Storage and traffic
+    cost are what production VM stacks (Ceph-style 3-way replication)
+    pay for the same property.
+    """
+
+    def __init__(self, n: int = 3) -> None:
+        if n < 2:
+            raise ValueError(f"replication needs n >= 2 copies, got {n}")
+        self.copies = n
+        self.n_shards = n - 1
+        self.tolerance = n - 1
+        self.name = f"rep-{n}"
+
+    def encode(self, members: Sequence[np.ndarray | bytes]) -> list[np.ndarray]:
+        padded, length = _pad_members(members)
+        flat = np.concatenate(padded) if len(padded) > 1 else padded[0].copy()
+        return [flat.copy() for _ in range(self.n_shards)]
+
+    def reconstruct(
+        self,
+        members: Sequence[np.ndarray | None],
+        shards: Sequence[np.ndarray | None],
+        nbytes: int | None = None,
+    ) -> list[np.ndarray]:
+        k = len(members)
+        lost, _ = _missing_count(members, shards)
+        if not lost:
+            return [as_u8(m).copy() for m in members]  # type: ignore[arg-type]
+        source = next((s for s in shards if s is not None), None)
+        if source is None:
+            raise _coding_error()(
+                f"{self.name}: members lost and no replica shard survives"
+            )
+        flat = as_u8(source)
+        if flat.shape[0] % k:
+            raise _coding_error()(
+                f"{self.name}: replica length {flat.shape[0]} not divisible by k={k}"
+            )
+        length = flat.shape[0] // k
+        return [
+            as_u8(m).copy() if m is not None else flat[i * length : (i + 1) * length].copy()
+            for i, m in enumerate(members)
+        ]
+
+    def storage_overhead(self, k: int) -> float:
+        return float(self.n_shards)
+
+    def shard_length(self, member_length: int, k: int) -> int:
+        return member_length * k
+
+    def working_length(self, shard_length: int, k: int) -> int:
+        return shard_length // k
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[], CodingScheme]] = {}
+
+
+def register_scheme(name: str, factory: Callable[[], CodingScheme]) -> None:
+    """Register a custom scheme under ``name`` for :func:`get_scheme`.
+
+    ``factory`` is a zero-argument callable returning a fresh scheme
+    instance (schemes carry per-k codec caches, so instances should not
+    be shared across unrelated checkpointers unless that is intended).
+    """
+    _REGISTRY[name] = factory
+
+
+def available_schemes() -> list[str]:
+    """Registered scheme names plus the parametric spec families."""
+    return sorted(_REGISTRY) + ["rs-<k>-<m>", "rep-<n>"]
+
+
+register_scheme("xor", XorScheme)
+register_scheme("rdp", RDPScheme)
+register_scheme("rs-8-2", lambda: ReedSolomonScheme(m=2, k_hint=8))
+register_scheme("rep-3", lambda: ReplicationScheme(3))
+
+
+def parse_scheme(spec: str) -> CodingScheme:
+    """Resolve a scheme spec string: registry name, ``rs-<k>-<m>``, or
+    ``rep-<n>``."""
+    factory = _REGISTRY.get(spec)
+    if factory is not None:
+        return factory()
+    parts = spec.split("-")
+    try:
+        if parts[0] == "rs" and len(parts) == 3:
+            return ReedSolomonScheme(m=int(parts[2]), k_hint=int(parts[1]))
+        if parts[0] == "rep" and len(parts) == 2:
+            return ReplicationScheme(int(parts[1]))
+    except ValueError:
+        pass
+    raise ValueError(
+        f"unknown coding scheme {spec!r}; known: {', '.join(available_schemes())}"
+    )
+
+
+def get_scheme(spec: "str | CodingScheme | None") -> CodingScheme:
+    """Coerce a spec (string, instance, or None → xor) to a scheme."""
+    if spec is None:
+        return XorScheme()
+    if isinstance(spec, CodingScheme):
+        return spec
+    return parse_scheme(spec)

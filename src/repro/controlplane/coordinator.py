@@ -82,8 +82,9 @@ class ControlPlaneConfig:
     scrub_interval: float | None = None
     #: target size for parity groups formed from provisioned VMs
     group_size: int = 4
-    #: single-parity tolerance used by the kill-op safety guard
-    tolerance: int = 1
+    #: erasure tolerance used by the kill-op safety guard; None derives
+    #: it from the checkpointer's coding scheme (1 for XOR, m for RS(k,m))
+    tolerance: int | None = None
 
 
 class ControlPlane:
@@ -112,7 +113,9 @@ class ControlPlane:
         self.engine = PlacementEngine(cluster)
         self.spares = spares
         self.healer = SelfHealer(checkpointer, spares, tracer=tracer)
-        self.scrubber = Scrubber(cluster, self.layout, tracer=tracer)
+        self.scrubber = Scrubber(
+            cluster, self.layout, tracer=tracer, scheme=checkpointer.scheme
+        )
         #: drain migrations use this pre-copy model (default: node NIC)
         self.precopy_model = precopy_model
         #: optional WorkloadDirtyModel applied to drain migrations
@@ -376,7 +379,7 @@ class ControlPlane:
                 except LayoutError:
                     group = None
                 if group is not None:
-                    exclude = exclude | {group.parity_node} | {
+                    exclude = exclude | set(group.parity_nodes) | {
                         self.cluster.vm(v).node_id
                         for v in group.member_vm_ids
                         if v != vm.vm_id
@@ -399,22 +402,32 @@ class ControlPlane:
                 sim.now, "controlplane.salvage",
                 vms=[vm.vm_id for vm in lost], cause=cause,
             )
-            # groups whose parity home is still down would abort the
-            # fresh epoch: point their parity at live nodes first — the
-            # epoch writes brand-new blocks, nothing is read from the
-            # old home (its RAM died with it)
+            # groups with a shard home still down would abort the fresh
+            # epoch: point those shards at live nodes first — the epoch
+            # writes brand-new blocks, nothing is read from the old home
+            # (its RAM died with it).  Every shard keeps its own distinct
+            # non-member node.
             for group in list(self.layout.groups):
-                if not self.cluster.node(group.parity_node).alive:
-                    new_home = choose_parity_node(
+                homes = list(group.parity_nodes)
+                dead = [
+                    j for j, p in enumerate(homes)
+                    if not self.cluster.node(p).alive
+                ]
+                if not dead:
+                    continue
+                for j in dead:
+                    others = {h for i, h in enumerate(homes) if i != j}
+                    homes[j] = choose_parity_node(
                         self.cluster, self.layout, group,
-                        exclude=self.maintenance | self.fenced,
+                        exclude=self.maintenance | self.fenced | others,
                     )
-                    self.layout.replace_group(
-                        group.group_id,
-                        RaidGroup(
-                            group.group_id, group.member_vm_ids, new_home
-                        ),
-                    )
+                self.layout.replace_group(
+                    group.group_id,
+                    RaidGroup(
+                        group.group_id, group.member_vm_ids,
+                        homes[0], tuple(homes[1:]),
+                    ),
+                )
             result = yield from self.ck.run_cycle()
         except Exception as exc:
             return False, f"salvage failed: {type(exc).__name__}: {exc}"
@@ -520,11 +533,15 @@ class ControlPlane:
         hosts = {vm.node_id for vm in vms}
         group_size = max(1, min(self.config.group_size, len(hosts)))
         sub = build_orthogonal_layout(
-            self.cluster, group_size, parity="rotate", vms=vms
+            self.cluster, group_size, parity="rotate", vms=vms,
+            n_parity=self.ck.scheme.n_shards,
         )
         next_id = self.layout.next_group_id()
         for i, g in enumerate(sub.groups):
-            group = RaidGroup(next_id + i, g.member_vm_ids, g.parity_node)
+            group = RaidGroup(
+                next_id + i, g.member_vm_ids, g.parity_node,
+                g.extra_parity_nodes,
+            )
             self.layout.add_group(group)
             self.tracer.emit(
                 self.cluster.sim.now, "controlplane.group_formed",
@@ -547,7 +564,7 @@ class ControlPlane:
             self.scrubber.scrub_once()
         report = audit_cluster(
             self.cluster, self.layout, self.ck.committed_epoch,
-            strict=strict, context=context,
+            strict=strict, context=context, scheme=self.ck.scheme,
         )
         self.audits.append(report)
         self.probe.count(
@@ -658,6 +675,11 @@ class ControlPlane:
         for vm in self.cluster.vms_on(node_id):
             if vm.vm_id in self.pending_protect:
                 return f"vm {vm.vm_id} on node {node_id} is not yet protected"
+        tolerance = (
+            self.config.tolerance
+            if self.config.tolerance is not None
+            else self.ck.scheme.tolerance
+        )
         for group in self.layout.groups:
             lost = 0
             for v in group.member_vm_ids:
@@ -666,13 +688,13 @@ class ControlPlane:
                     lost += 1
                 elif home == node_id:
                     lost += 1
-            pnode = group.parity_node
-            if pnode == node_id or not self.cluster.node(pnode).alive:
-                lost += 1
-            if lost > self.config.tolerance:
+            for pnode in group.parity_nodes:
+                if pnode == node_id or not self.cluster.node(pnode).alive:
+                    lost += 1
+            if lost > tolerance:
                 return (
                     f"group {group.group_id} would lose {lost} elements "
-                    f"(tolerance {self.config.tolerance})"
+                    f"(tolerance {tolerance})"
                 )
         return None
 

@@ -17,6 +17,7 @@ from ..checkpoint.base import CaptureStrategy
 from ..checkpoint.compression import NO_COMPRESSION, CompressionModel
 from ..cluster.cluster import VirtualCluster
 from ..sim import NULL_TRACER, Tracer
+from ..coding import get_scheme
 from .dvdc import DEFAULT_XOR_BANDWIDTH, DisklessCheckpointer
 from .groups import layout_checkpoint_node, layout_dvdc, layout_firstshot
 
@@ -33,12 +34,14 @@ def first_shot(
     auditor=None,
     retry=None,
     retry_rng=None,
+    scheme=None,
 ) -> DisklessCheckpointer:
     """Fig. 1 — the "first-shot" N+1 architecture."""
-    layout = layout_firstshot(cluster, parity_node)
+    coding = get_scheme(scheme)
+    layout = layout_firstshot(cluster, parity_node, n_parity=coding.n_shards)
     return DisklessCheckpointer(
         cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor,
-        retry=retry, retry_rng=retry_rng,
+        retry=retry, retry_rng=retry_rng, scheme=coding,
     )
 
 
@@ -53,12 +56,16 @@ def checkpoint_node(
     auditor=None,
     retry=None,
     retry_rng=None,
+    scheme=None,
 ) -> DisklessCheckpointer:
     """Fig. 3 — orthogonal RAID with a dedicated checkpointing node."""
-    layout = layout_checkpoint_node(cluster, node_id, group_size)
+    coding = get_scheme(scheme)
+    layout = layout_checkpoint_node(
+        cluster, node_id, group_size, n_parity=coding.n_shards
+    )
     return DisklessCheckpointer(
         cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor,
-        retry=retry, retry_rng=retry_rng,
+        retry=retry, retry_rng=retry_rng, scheme=coding,
     )
 
 
@@ -72,10 +79,12 @@ def dvdc(
     auditor=None,
     retry=None,
     retry_rng=None,
+    scheme=None,
 ) -> DisklessCheckpointer:
     """Fig. 4 — Distributed Virtual Diskless Checkpointing."""
-    layout = layout_dvdc(cluster, group_size)
+    coding = get_scheme(scheme)
+    layout = layout_dvdc(cluster, group_size, n_parity=coding.n_shards)
     return DisklessCheckpointer(
         cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor,
-        retry=retry, retry_rng=retry_rng,
+        retry=retry, retry_rng=retry_rng, scheme=coding,
     )

@@ -36,10 +36,10 @@ from ..cluster.cluster import VirtualCluster
 from ..cluster.images import CheckpointImage, CheckpointKind, ParityBlock
 from ..cluster.vm import VMState
 from ..sim import AllOf, NULL_TRACER, Resource, Tracer
+from ..coding import RDPScheme
 from .dvdc import DEFAULT_XOR_BANDWIDTH
 from .groups import LayoutError
 from ..network.link import NetworkError
-from .parity import RDPCode
 from .recovery import DisklessRecoveryReport
 
 __all__ = [
@@ -186,9 +186,9 @@ class DoubleParityCheckpointer:
         self._engines = {
             n.node_id: Resource(cluster.sim, capacity=1) for n in cluster.nodes
         }
-        self._codes = {
-            g.group_id: RDPCode(g.size) for g in layout.groups
-        }
+        #: RDP expressed on the pluggable scheme interface (one codec
+        #: cached per group size inside the scheme)
+        self.scheme = RDPScheme()
 
     # ------------------------------------------------------------------
     def _group_cycle(self, group, outcomes, result, staged, staged_commits):
@@ -238,8 +238,7 @@ class DoubleParityCheckpointer:
         functional = all(img.payload is not None for img in images)
         row_data = diag_data = None
         if functional and len(images) == group.size:
-            code = self._codes[group.group_id]
-            row_data, diag_data = code.encode(
+            row_data, diag_data = self.scheme.encode(
                 [img.payload_flat() for img in images]
             )
         logical = max(img.logical_bytes for img in images)
@@ -403,14 +402,17 @@ class DoubleParityCheckpointer:
                 if v not in lost_set
             )
             if functional_ok:
-                code = self._codes[group.group_id]
                 try:
                     nbytes = next(
                         m.shape[0] for m in members if m is not None
                     )
                 except StopIteration:
                     nbytes = None
-                rebuilt_all = code.reconstruct(members, parity, nbytes=nbytes)
+                rebuilt_all = self.scheme.reconstruct(
+                    members, parity, nbytes=nbytes
+                )
+                if nbytes is not None:
+                    rebuilt_all = [r[:nbytes] for r in rebuilt_all]
 
         # place + restore lost members
         member_nodes = {
@@ -520,8 +522,7 @@ class DoubleParityCheckpointer:
             )
             row_data = diag_data = None
             if functional:
-                code = self._codes[group.group_id]
-                row_data, diag_data = code.encode(
+                row_data, diag_data = self.scheme.encode(
                     [img.payload_flat() for img in payloads]
                 )
             logical = max(

@@ -61,6 +61,7 @@ from ..cluster.xorsum import (
     xor_reduce_groups,
     xor_reduce_padded,
 )
+from ..coding import CodingScheme, XorScheme, get_scheme, shard_key
 from ..network.link import NetworkError
 from ..sim import AllOf, NULL_TRACER, Resource, Tracer
 from ..telemetry import probe_of
@@ -106,11 +107,19 @@ class DisklessCheckpointer:
         auditor=None,
         retry=None,
         retry_rng=None,
+        scheme: CodingScheme | str | None = None,
     ):
         if xor_bandwidth <= 0:
             raise ValueError(f"xor_bandwidth must be > 0, got {xor_bandwidth}")
         self.cluster = cluster
         self.layout = layout
+        #: the erasure-coding scheme protecting every group (default: the
+        #: paper's single-parity XOR).  When it is XOR, every hot path
+        #: below runs the historical single-shard code verbatim — the
+        #: golden scale64 digests pin that bit-for-bit; other schemes
+        #: take the generalized m-shard branches.
+        self.scheme = get_scheme(scheme)
+        self._is_xor = isinstance(self.scheme, XorScheme)
         self.strategy = strategy or ForkedCapture()
         self.compression = compression
         self.xor_bandwidth = xor_bandwidth
@@ -201,6 +210,11 @@ class DisklessCheckpointer:
     ):
         """Process: exchange + validation for one group; the parity
         bytes themselves are encoded by the commit-time batched flush."""
+        if not self._is_xor:
+            yield from self._group_cycle_scheme(
+                group, outcomes, result, pending, staged_commits
+            )
+            return
         sim = self.cluster.sim
         if not self.cluster.node(group.parity_node).alive:
             # the parity node died before the exchange even started (its
@@ -421,6 +435,145 @@ class DisklessCheckpointer:
                 },
             )
 
+    # ------------------------------------------------------------------
+    # generalized m-shard paths (any CodingScheme other than plain XOR)
+    # ------------------------------------------------------------------
+    def _group_cycle_scheme(
+        self,
+        group: RaidGroup,
+        outcomes: dict[int, CaptureOutcome],
+        result: DisklessCycleResult,
+        pending: list,
+        staged_commits: dict[int, CheckpointImage],
+    ):
+        """Process: m-way exchange for one group under a general scheme.
+
+        Every member ships its capture to *each* of the scheme's ``m``
+        shard homes (the m-way traffic the scheme's ``traffic_factor``
+        models), and each home charges its encode engine.  Incremental
+        captures are materialized to full images (committed base + dirty
+        pages) and the shards re-encoded whole — correct for any scheme,
+        linear or not.
+        """
+        sim = self.cluster.sim
+        shard_nodes = group.parity_nodes
+        if any(not self.cluster.node(n).alive for n in shard_nodes):
+            # a shard home died before the exchange (its RAM — including
+            # any previous shard — is gone); the epoch aborts
+            result.failed_groups.append(group.group_id)
+            return
+        flows = []
+        member_images: list[CheckpointImage] = []
+        full_flats: dict[int, np.ndarray] = {}
+        raw_bytes = 0.0
+        for vm_id in group.member_vm_ids:
+            if vm_id not in outcomes:  # VM failed before capture
+                continue
+            o = outcomes[vm_id]
+            vm = self.cluster.vm(vm_id)
+            assert vm.node_id is not None
+            member_images.append(o.image)
+            if o.image.payload is not None:
+                if o.image.kind == CheckpointKind.INCREMENTAL and isinstance(
+                    o.image.payload, PageDelta
+                ):
+                    hv = self.cluster.hypervisor(vm.node_id)
+                    old = hv.committed(vm_id)
+                    if old is None or old.payload is None:
+                        raise RuntimeError(
+                            f"vm {vm_id}: incremental epoch without committed base"
+                        )
+                    delta: PageDelta = o.image.payload
+                    pages = old.payload_flat().copy().reshape(
+                        delta.n_pages_total, delta.page_size
+                    )
+                    pages[delta.indices] = delta.pages
+                    full_flats[vm_id] = pages.reshape(-1)
+                else:
+                    full_flats[vm_id] = o.image.payload_flat()
+            wire = self.compression.output_bytes(o.image.logical_bytes)
+            raw_bytes += o.image.logical_bytes
+            base = f"dvdc.g{group.group_id}.vm{vm_id}.e{o.image.epoch}"
+            for j, pnode in enumerate(shard_nodes):
+                result.network_bytes += wire
+                flows.append(
+                    self._transfer(
+                        vm.node_id,
+                        pnode,
+                        wire,
+                        label=base if j == 0 else f"{base}.s{j}",
+                    )
+                )
+        if not member_images:
+            return
+        if flows:
+            try:
+                yield AllOf(sim, flows)
+            except NetworkError:
+                result.failed_groups.append(group.group_id)
+                return
+        # encode at every shard home (serialized per node across groups)
+        for pnode in shard_nodes:
+            if not self.cluster.node(pnode).alive:
+                result.failed_groups.append(group.group_id)
+                return
+            engine = self._xor_engines[pnode]
+            req = engine.request()
+            yield req
+            try:
+                xor_time = raw_bytes / self.xor_bandwidth
+                if xor_time > 0:
+                    yield sim.timeout(xor_time)
+            finally:
+                engine.release()
+            result.parity_bytes += raw_bytes
+            result.xor_seconds_by_node[pnode] = (
+                result.xor_seconds_by_node.get(pnode, 0.0)
+                + raw_bytes / self.xor_bandwidth
+            )
+        pending.append((group, member_images, full_flats))
+        for img in member_images:
+            staged_commits[img.vm_id] = img
+
+    def _flush_encodes_scheme(self, pending: list, staged: dict[int, list]) -> None:
+        """Commit-time shard encode for a general scheme.
+
+        ``pending`` holds ``(group, member_images, full_flats)`` records;
+        ``staged[group_id]`` becomes the shard-index-ordered list of
+        :class:`ParityBlock`, keyed for the parity stores with
+        :func:`repro.coding.shard_key`.
+        """
+        for group, member_images, full_flats in pending:
+            functional = len(full_flats) == len(member_images) and member_images
+            shards: list[np.ndarray] | None = None
+            member_checksums: dict[int, int] = {}
+            if functional:
+                flats = [full_flats[img.vm_id] for img in member_images]
+                shards = self.scheme.encode(flats)
+                member_checksums = {
+                    img.vm_id: block_checksum(full_flats[img.vm_id])
+                    for img in member_images
+                }
+            logical = max(img.logical_bytes for img in member_images)
+            full_logical = max(
+                self.cluster.vm(v).memory_bytes for v in group.member_vm_ids
+            )
+            blocks = []
+            for j in range(self.scheme.n_shards):
+                data = shards[j] if shards is not None else None
+                blocks.append(
+                    ParityBlock(
+                        group_id=shard_key(group.group_id, j),
+                        epoch=self.epoch,
+                        member_vm_ids=group.member_vm_ids,
+                        logical_bytes=full_logical if logical < full_logical else logical,
+                        data=data,
+                        checksum=None if data is None else block_checksum(data),
+                        member_checksums=dict(member_checksums),
+                    )
+                )
+            staged[group.group_id] = blocks
+
     def run_cycle(self, pause_done=None):
         """Process: one coordinated diskless checkpoint epoch.
 
@@ -495,10 +648,17 @@ class DisklessCheckpointer:
             if self.auditor is not None:
                 self.auditor.post_cycle(self, result)
             return result
-        self._flush_encodes(pending, staged)
         groups_by_id = {g.group_id: g for g in self.layout.groups}
-        for group_id, block in staged.items():
-            self.cluster.node(groups_by_id[group_id].parity_node).store_parity(block)
+        if self._is_xor:
+            self._flush_encodes(pending, staged)
+            for group_id, block in staged.items():
+                self.cluster.node(groups_by_id[group_id].parity_node).store_parity(block)
+        else:
+            self._flush_encodes_scheme(pending, staged)
+            for group_id, blocks in staged.items():
+                g = groups_by_id[group_id]
+                for node_id, blk in zip(g.parity_nodes, blocks):
+                    self.cluster.node(node_id).store_parity(blk)
         for vm_id, image in staged_commits.items():
             vm = self.cluster.vm(vm_id)
             if vm.node_id is None:
@@ -747,6 +907,324 @@ class DisklessCheckpointer:
             sim.now, "diskless.reencode", group=group.group_id, node=new_node
         )
 
+    # ------------------------------------------------------------------
+    # generalized m-shard recovery
+    # ------------------------------------------------------------------
+    def _shard_blocks(self, group: RaidGroup) -> list[ParityBlock | None]:
+        """The group's shard blocks in shard-index order; ``None`` marks a
+        shard whose home is dead or whose block is missing."""
+        out: list[ParityBlock | None] = []
+        for j, node_id in enumerate(group.parity_nodes):
+            node = self.cluster.node(node_id)
+            blk = (
+                node.parity_store.get(shard_key(group.group_id, j))
+                if node.alive
+                else None
+            )
+            out.append(blk)
+        return out
+
+    def _missing_shard_slots(self, group: RaidGroup) -> list[int]:
+        """Shard indices whose home is dead, block missing, or colocated
+        with a member — everything :meth:`heal` must re-home."""
+        member_nodes = {
+            self.cluster.vm(v).node_id
+            for v in group.member_vm_ids
+            if self.cluster.vm(v).node_id is not None
+        }
+        slots = []
+        for j, node_id in enumerate(group.parity_nodes):
+            node = self.cluster.node(node_id)
+            if (
+                not node.alive
+                or shard_key(group.group_id, j) not in node.parity_store
+                or node_id in member_nodes
+            ):
+                slots.append(j)
+        return slots
+
+    def _recover_group_scheme(
+        self, group: RaidGroup, lost_vm_ids: list[int], report: DisklessRecoveryReport
+    ):
+        """Process: rebuild every lost member of one group via the scheme.
+
+        Handles any erasure pattern within ``scheme.tolerance`` (multiple
+        members, members + shards); patterns beyond it raise the
+        tolerance-aware unrecoverable error the audit classifier keys on.
+        Missing shards are re-encoded afterwards in the same pass.
+        """
+        sim = self.cluster.sim
+        k = len(group.member_vm_ids)
+        shard_blocks = self._shard_blocks(group)
+        lost_set = set(lost_vm_ids)
+        missing_shards = sum(1 for b in shard_blocks if b is None)
+        erasures = len(lost_set) + missing_shards
+        staging = next(
+            (
+                group.parity_nodes[j]
+                for j, b in enumerate(shard_blocks)
+                if b is not None
+            ),
+            None,
+        )
+        # The scheme guarantees any <= tolerance erasures; replication can
+        # additionally recover any pattern that leaves one replica alive.
+        over_tolerance = erasures > self.scheme.tolerance
+        replica_rescue = (
+            getattr(self.scheme, "copies", None) is not None and staging is not None
+        )
+        if (over_tolerance and not replica_rescue) or staging is None:
+            raise RuntimeError(
+                f"group {group.group_id} lost {len(lost_set)} members and "
+                f"{missing_shards} parity shards — beyond {self.scheme.name} "
+                f"tolerance {self.scheme.tolerance}"
+            )
+
+        survivors = [v for v in group.member_vm_ids if v not in lost_set]
+        flows = []
+        wire_bytes = 0.0
+        decode_bytes = 0.0
+        survivor_payloads: dict[int, np.ndarray] = {}
+        for v in survivors:
+            vm = self.cluster.vm(v)
+            if vm.node_id is None:
+                raise RuntimeError(
+                    f"group {group.group_id}: survivor vm {v} also lost — "
+                    f"beyond {self.scheme.name} tolerance"
+                )
+            img = self.cluster.hypervisor(vm.node_id).committed(v)
+            if img is None:
+                raise RuntimeError(f"survivor vm {v} has no committed checkpoint")
+            decode_bytes += vm.memory_bytes
+            if img.payload is not None:
+                survivor_payloads[v] = img.payload_flat()
+            if vm.node_id != staging:
+                wire_bytes += vm.memory_bytes
+                flows.append(
+                    self._transfer(
+                        vm.node_id, staging, vm.memory_bytes,
+                        label=f"rebuild.g{group.group_id}.vm{v}",
+                    )
+                )
+        # surviving shards hosted elsewhere stream to the staging node too
+        for j, blk in enumerate(shard_blocks):
+            home = group.parity_nodes[j]
+            if blk is None or home == staging:
+                continue
+            size = float(blk.data.shape[0]) if blk.data is not None else blk.logical_bytes
+            decode_bytes += size
+            wire_bytes += size
+            flows.append(
+                self._transfer(
+                    home, staging, size,
+                    label=f"rebuild.g{group.group_id}.s{j}",
+                )
+            )
+        if flows:
+            try:
+                yield AllOf(sim, flows)
+            except NetworkError:
+                # another node died mid-rebuild; the queued failure's
+                # recovery pass retries the group
+                return
+        report.network_bytes += wire_bytes
+        if not self.cluster.node(staging).alive:
+            raise RuntimeError(
+                f"group {group.group_id}: staging node {staging} died during "
+                f"reconstruction — beyond {self.scheme.name} tolerance"
+            )
+        decode_bytes += sum(self.cluster.vm(v).memory_bytes for v in lost_set)
+        engine = self._xor_engines[staging]
+        req = engine.request()
+        yield req
+        try:
+            yield sim.timeout(decode_bytes / self.xor_bandwidth)
+        finally:
+            engine.release()
+        report.xor_bytes += decode_bytes
+
+        functional = len(survivor_payloads) == len(survivors) and any(
+            b is not None and b.data is not None for b in shard_blocks
+        )
+        rebuilt: dict[int, np.ndarray] = {}
+        checksums_src = next(
+            (b for b in shard_blocks if b is not None), None
+        )
+        if functional:
+            ref = next(b for b in shard_blocks if b is not None and b.data is not None)
+            length = self.scheme.working_length(int(ref.data.shape[0]), k)
+            member_bufs = [
+                survivor_payloads.get(v) if v not in lost_set else None
+                for v in group.member_vm_ids
+            ]
+            shard_bufs = [
+                None if b is None or b.data is None else b.data for b in shard_blocks
+            ]
+            decoded = self.scheme.reconstruct(member_bufs, shard_bufs, nbytes=length)
+            for idx, v in enumerate(group.member_vm_ids):
+                if v not in lost_set:
+                    continue
+                lost_vm = self.cluster.vm(v)
+                nbytes = (
+                    lost_vm.image.nbytes if lost_vm.image is not None else length
+                )
+                img_bytes = decoded[idx][:nbytes].copy()
+                expect = (
+                    checksums_src.member_checksums.get(v)
+                    if checksums_src is not None
+                    else None
+                )
+                if expect is not None and block_checksum(img_bytes) != expect:
+                    raise RuntimeError(
+                        f"vm {v}: rebuilt image fails its end-to-end checksum "
+                        "— a survivor image or a parity shard is silently "
+                        "corrupt; scrub before recovering"
+                    )
+                rebuilt[v] = img_bytes
+
+        # ship each rebuilt image to its new home and restore
+        for v in lost_vm_ids:
+            lost_vm = self.cluster.vm(v)
+            target = choose_restore_node(
+                self.cluster, self.layout, group, exclude={report.failed_node}
+            )
+            if target != staging:
+                flow = self._transfer(
+                    staging, target, lost_vm.memory_bytes,
+                    label=f"restore.g{group.group_id}.vm{v}",
+                )
+                try:
+                    yield flow
+                except NetworkError:
+                    return  # destination (or source) died; retried later
+                report.network_bytes += lost_vm.memory_bytes
+            self.cluster.place_failed_vm(v, target)
+            hv = self.cluster.hypervisor(target)
+            image = CheckpointImage(
+                vm_id=v,
+                epoch=self.committed_epoch,
+                kind=CheckpointKind.FULL,
+                logical_bytes=lost_vm.memory_bytes,
+                captured_at=sim.now,
+                payload=rebuilt.get(v),
+                meta={"reconstructed": True},
+            )
+            if rebuilt.get(v) is not None or lost_vm.image is None:
+                hv.restore(lost_vm, image)
+            else:  # functional VM but timing-only parity: revive without bytes
+                lost_vm.revive()
+            hv.commit_checkpoint(image)
+            report.reconstructed[v] = target
+            self.tracer.emit(
+                sim.now, "diskless.rebuild", vm=v, group=group.group_id,
+                target=target,
+            )
+        # re-home any shard slots this crash emptied
+        if self._missing_shard_slots(group):
+            yield from self._reencode_shards_scheme(group, report)
+
+    def _reencode_shards_scheme(self, group: RaidGroup, report: DisklessRecoveryReport):
+        """Process: re-encode the group's shards, re-homing every slot
+        whose node died or whose block is missing/colocated.
+
+        All ``m`` shards are recomputed from the committed member images
+        (one encode) but only missing slots get new homes; surviving
+        slots keep their nodes and are refreshed in place so the group
+        ends the pass fully protected on ``m`` distinct non-member
+        nodes.
+        """
+        sim = self.cluster.sim
+        gid = group.group_id
+        slots = self._missing_shard_slots(group)
+        if not slots:
+            return
+        member_nodes = {
+            self.cluster.vm(v).node_id
+            for v in group.member_vm_ids
+            if self.cluster.vm(v).node_id is not None
+        }
+        homes = list(group.parity_nodes)
+        for j in slots:
+            taken = {h for i, h in enumerate(homes) if i != j}
+            homes[j] = choose_parity_node(
+                self.cluster, self.layout, group,
+                exclude={report.failed_node} | taken,
+            )
+        # gather member images; bail if a member just died too (the queued
+        # failure's recovery rebuilds it and re-encodes afterwards)
+        payloads = []
+        total = 0.0
+        for v in group.member_vm_ids:
+            vm = self.cluster.vm(v)
+            if vm.node_id is None:
+                return
+            img = self.cluster.hypervisor(vm.node_id).committed(v)
+            if img is None:
+                raise RuntimeError(f"vm {v} has no committed checkpoint to re-encode")
+            total += vm.memory_bytes
+            if img.payload is not None:
+                payloads.append(img.payload_flat())
+        flows = []
+        wire_bytes = 0.0
+        for j in slots:
+            new_home = homes[j]
+            for v in group.member_vm_ids:
+                vm = self.cluster.vm(v)
+                if vm.node_id != new_home:
+                    wire_bytes += vm.memory_bytes
+                    flows.append(
+                        self._transfer(
+                            vm.node_id, new_home, vm.memory_bytes,
+                            label=f"reencode.g{gid}.s{j}.vm{v}",
+                        )
+                    )
+        if flows:
+            try:
+                yield AllOf(sim, flows)
+            except NetworkError:
+                return
+        report.network_bytes += wire_bytes
+        for j in slots:
+            engine = self._xor_engines[homes[j]]
+            req = engine.request()
+            yield req
+            try:
+                yield sim.timeout(total / self.xor_bandwidth)
+            finally:
+                engine.release()
+            report.xor_bytes += total
+        functional = len(payloads) == len(group.member_vm_ids) and payloads
+        shards = self.scheme.encode(payloads) if functional else None
+        member_checksums: dict[int, int] = {}
+        if functional:
+            for v, p in zip(group.member_vm_ids, payloads):
+                member_checksums[v] = block_checksum(p)
+        logical = max(self.cluster.vm(v).memory_bytes for v in group.member_vm_ids)
+        for j in slots:
+            data = shards[j] if shards is not None else None
+            block = ParityBlock(
+                group_id=shard_key(gid, j),
+                epoch=self.committed_epoch,
+                member_vm_ids=group.member_vm_ids,
+                logical_bytes=logical,
+                data=data,
+                checksum=None if data is None else block_checksum(data),
+                member_checksums=dict(member_checksums),
+            )
+            self.cluster.node(homes[j]).store_parity(block)
+            old_home = self.cluster.node(group.parity_nodes[j])
+            if old_home.alive and old_home.node_id != homes[j]:
+                old_home.parity_store.pop(shard_key(gid, j), None)
+        self.layout.replace_group(
+            gid, RaidGroup(gid, group.member_vm_ids, homes[0], tuple(homes[1:]))
+        )
+        if gid not in report.reencoded_groups:
+            report.reencoded_groups.append(gid)
+        self.tracer.emit(
+            sim.now, "diskless.reencode", group=gid,
+            node=homes[slots[0]] if slots else group.parity_node,
+        )
+
     def heal(self):
         """Process: restore layout validity after node repairs.
 
@@ -760,6 +1238,19 @@ class DisklessCheckpointer:
         :class:`~repro.workloads.app.CheckpointedJob` runner does.
         """
         healed: list[int] = []
+        if not self._is_xor:
+            for group in list(self.layout.groups):
+                if not self._missing_shard_slots(group):
+                    continue
+                report = DisklessRecoveryReport(failed_node=-1)
+                try:
+                    yield from self._reencode_shards_scheme(group, report)
+                except RuntimeError:
+                    continue
+                healed.append(group.group_id)
+            if healed:
+                self.tracer.emit(self.cluster.sim.now, "diskless.heal", groups=healed)
+            return healed
         for group in list(self.layout.groups):
             pnode = self.cluster.node(group.parity_node)
             member_nodes = {
@@ -814,25 +1305,47 @@ class DisklessCheckpointer:
         ]
         lost_set = set(lost_vms)
         procs = []
-        # groups that lost a member
-        for vm_id in lost_vms:
-            group = self.layout.group_of(vm_id)
-            others_lost = [v for v in group.member_vm_ids if v in lost_set and v != vm_id]
-            if others_lost:
-                raise RuntimeError(
-                    f"group {group.group_id} lost {len(others_lost) + 1} members "
-                    "— beyond single-parity tolerance"
+        if self._is_xor:
+            # groups that lost a member
+            for vm_id in lost_vms:
+                group = self.layout.group_of(vm_id)
+                others_lost = [v for v in group.member_vm_ids if v in lost_set and v != vm_id]
+                if others_lost:
+                    raise RuntimeError(
+                        f"group {group.group_id} lost {len(others_lost) + 1} members "
+                        "— beyond single-parity tolerance"
+                    )
+                procs.append(sim.process(self._rebuild_member(group, vm_id, report)))
+            # groups whose parity block is missing anywhere (this crash, or a
+            # re-encode aborted by an earlier overlapping crash) and that
+            # lost no member this time
+            for group in self.layout.groups:
+                if any(v in lost_set for v in group.member_vm_ids):
+                    continue
+                pnode = self.cluster.node(group.parity_node)
+                if (not pnode.alive) or group.group_id not in pnode.parity_store:
+                    procs.append(sim.process(self._reencode_parity(group, report)))
+        else:
+            # general scheme: one recovery process per damaged group,
+            # handling any <= tolerance mix of lost members and shards
+            lost_by_group: dict[int, list[int]] = {}
+            for vm_id in lost_vms:
+                group = self.layout.group_of(vm_id)
+                lost_by_group.setdefault(group.group_id, []).append(vm_id)
+            groups_by_id = {g.group_id: g for g in self.layout.groups}
+            for gid, lost in lost_by_group.items():
+                procs.append(
+                    sim.process(
+                        self._recover_group_scheme(groups_by_id[gid], lost, report)
+                    )
                 )
-            procs.append(sim.process(self._rebuild_member(group, vm_id, report)))
-        # groups whose parity block is missing anywhere (this crash, or a
-        # re-encode aborted by an earlier overlapping crash) and that
-        # lost no member this time
-        for group in self.layout.groups:
-            if any(v in lost_set for v in group.member_vm_ids):
-                continue
-            pnode = self.cluster.node(group.parity_node)
-            if (not pnode.alive) or group.group_id not in pnode.parity_store:
-                procs.append(sim.process(self._reencode_parity(group, report)))
+            for group in self.layout.groups:
+                if group.group_id in lost_by_group:
+                    continue
+                if self._missing_shard_slots(group):
+                    procs.append(
+                        sim.process(self._reencode_shards_scheme(group, report))
+                    )
         # all surviving VMs roll back locally
         for vm_id in self.layout.vm_ids:
             if vm_id not in lost_set:

@@ -46,16 +46,29 @@ class LayoutError(RuntimeError):
 
 @dataclass(frozen=True)
 class RaidGroup:
-    """One parity group: an ordered tuple of member VMs plus the node
-    responsible for holding (and computing) their parity."""
+    """One parity group: an ordered tuple of member VMs plus the node(s)
+    responsible for holding (and computing) their parity shards.
+
+    ``parity_node`` is shard 0's home — the only shard under the
+    classic single-parity (XOR) scheme, which is why it keeps its
+    historical name and position.  Coding schemes with ``m > 1`` shards
+    (RDP, RS(k, m), replication) place shards ``1..m-1`` on
+    ``extra_parity_nodes``, each a distinct non-member node.
+    """
 
     group_id: int
     member_vm_ids: tuple[int, ...]
     parity_node: int
+    extra_parity_nodes: tuple[int, ...] = ()
 
     @property
     def size(self) -> int:
         return len(self.member_vm_ids)
+
+    @property
+    def parity_nodes(self) -> tuple[int, ...]:
+        """All shard homes, shard index order: ``(parity_node, *extras)``."""
+        return (self.parity_node, *self.extra_parity_nodes)
 
 
 @dataclass
@@ -123,14 +136,15 @@ class GroupLayout:
         return max((g.group_id for g in self.groups), default=-1) + 1
 
     def groups_with_parity_on(self, node_id: int) -> list[RaidGroup]:
-        return [g for g in self.groups if g.parity_node == node_id]
+        return [g for g in self.groups if node_id in g.parity_nodes]
 
     def parity_load(self) -> dict[int, int]:
-        """Groups-per-parity-node histogram — Fig. 4's even distribution
+        """Shards-per-parity-node histogram — Fig. 4's even distribution
         shows up as a flat histogram, Fig. 3's as a single spike."""
         load: dict[int, int] = {}
         for g in self.groups:
-            load[g.parity_node] = load.get(g.parity_node, 0) + 1
+            for n in g.parity_nodes:
+                load[n] = load.get(n, 0) + 1
         return load
 
 
@@ -153,6 +167,7 @@ def build_orthogonal_layout(
     parity: str | int = "rotate",
     vms: Sequence[VirtualMachine] | None = None,
     domains=None,
+    n_parity: int = 1,
 ) -> GroupLayout:
     """Greedy orthogonal grouping.
 
@@ -171,9 +186,17 @@ def build_orthogonal_layout(
     are drawn from distinct racks/PDUs and the parity node's domain
     hosts none of them, so a whole-domain crash costs each group at
     most one element — Fig. 2's controller argument lifted to racks.
+
+    ``n_parity`` is the coding scheme's shard count ``m``: each group
+    gets ``m`` pairwise-distinct non-member parity nodes.  In rotate
+    mode all ``m`` are drawn from the least-loaded heap; with a fixed
+    parity node, shard 0 lands there and shards ``1..m-1`` rotate over
+    the remaining eligible nodes.
     """
     if group_size < 1:
         raise LayoutError(f"group_size must be >= 1, got {group_size}")
+    if n_parity < 1:
+        raise LayoutError(f"n_parity must be >= 1, got {n_parity}")
     pool = vms if vms is not None else cluster.all_vms
     by_node = _vms_by_node(cluster, pool)
     if domains is not None:
@@ -244,6 +267,8 @@ def build_orthogonal_layout(
             if domains is not None
             else None
         )
+        picked: list[int] = []
+        picked_domains: set[int] = set()
         if parity_nodes_fixed is not None:
             if parity_nodes_fixed in member_nodes:
                 raise LayoutError(
@@ -257,12 +282,15 @@ def build_orthogonal_layout(
                     f"dedicated parity node {parity_nodes_fixed} shares a "
                     f"failure domain with a member of group {gid}"
                 )
-            pnode = parity_nodes_fixed
-        else:
+            picked.append(parity_nodes_fixed)
+            if domains is not None:
+                picked_domains.add(domains.domain_of(parity_nodes_fixed))
+            parity_count[parity_nodes_fixed] += 1
+        while len(picked) < n_parity:
             # first valid pop == min over eligible nodes by
-            # (parity_count, id); members / shared-domain nodes are set
-            # aside and restored after the pick (their counts are
-            # untouched, so their heap entries stay exact)
+            # (parity_count, id); members / shared-domain / already
+            # picked nodes are set aside and restored after the pick
+            # (their counts are untouched, so their entries stay exact)
             pnode = None
             aside: list[tuple[int, int]] = []
             while parity_heap:
@@ -270,9 +298,14 @@ def build_orthogonal_layout(
                 if c != parity_count[n]:  # stale: reinsert at true rank
                     heapq.heappush(parity_heap, (parity_count[n], n))
                     continue
-                if n in member_nodes or (
-                    member_domains is not None
-                    and domains.domain_of(n) in member_domains
+                if (
+                    n in member_nodes
+                    or n in picked
+                    or (
+                        member_domains is not None
+                        and domains.domain_of(n) in member_domains
+                    )
+                    or (domains is not None and domains.domain_of(n) in picked_domains)
                 ):
                     aside.append((c, n))
                     continue
@@ -282,26 +315,32 @@ def build_orthogonal_layout(
                 heapq.heappush(parity_heap, entry)
             if pnode is None:
                 raise LayoutError(
-                    f"no node available to hold parity for group {gid}: "
-                    "members cover every eligible "
+                    f"no node available to hold parity shard {len(picked)} of "
+                    f"group {gid}: members and prior shards cover every eligible "
                     + ("failure domain" if domains is not None else "node")
-                    + " — reduce group_size"
+                    + " — reduce group_size or the scheme's shard count"
                 )
             heapq.heappush(parity_heap, (parity_count[pnode] + 1, pnode))
-        parity_count[pnode] += 1
-        groups.append(RaidGroup(gid, member_ids, pnode))
+            parity_count[pnode] += 1
+            picked.append(pnode)
+            if domains is not None:
+                picked_domains.add(domains.domain_of(pnode))
+        groups.append(RaidGroup(gid, member_ids, picked[0], tuple(picked[1:])))
         gid += 1
     return GroupLayout(groups)
 
 
 def layout_firstshot(
-    cluster: VirtualCluster, parity_node: int | None = None
+    cluster: VirtualCluster,
+    parity_node: int | None = None,
+    n_parity: int = 1,
 ) -> GroupLayout:
     """Fig. 1: one VM per node, one big N-member group, dedicated parity.
 
-    ``parity_node`` defaults to the highest-numbered node without VMs.
-    Raises if any node hosts more than one protected VM — the restriction
-    the first-shot design imposes.
+    ``parity_node`` defaults to the highest-numbered node without VMs;
+    with an ``n_parity``-shard coding scheme the extra shards take the
+    next-highest VM-free nodes.  Raises if any node hosts more than one
+    protected VM — the restriction the first-shot design imposes.
     """
     by_node = _vms_by_node(cluster, cluster.all_vms)
     for node_id, ids in by_node.items():
@@ -310,39 +349,54 @@ def layout_firstshot(
                 f"first-shot architecture allows one VM per node; node "
                 f"{node_id} hosts {len(ids)}"
             )
+    empty = sorted(
+        (n.node_id for n in cluster.nodes if n.node_id not in by_node),
+        reverse=True,
+    )
     if parity_node is None:
-        empty = [n.node_id for n in cluster.nodes if n.node_id not in by_node]
         if not empty:
             raise LayoutError("no VM-free node available as the parity node")
-        parity_node = max(empty)
+        parity_node = empty[0]
     if parity_node in by_node:
         raise LayoutError(f"parity node {parity_node} hosts a VM")
+    extras = tuple(n for n in empty if n != parity_node)[: n_parity - 1]
+    if len(extras) < n_parity - 1:
+        raise LayoutError(
+            f"need {n_parity} VM-free parity nodes, only {len(extras) + 1} available"
+        )
     members = tuple(ids[0] for _, ids in sorted(by_node.items()))
-    return GroupLayout([RaidGroup(0, members, parity_node)])
+    return GroupLayout([RaidGroup(0, members, parity_node, extras)])
 
 
 def layout_checkpoint_node(
     cluster: VirtualCluster,
     checkpoint_node: int,
     group_size: int | None = None,
+    n_parity: int = 1,
 ) -> GroupLayout:
-    """Fig. 3: orthogonal groups; every group's parity on one dedicated
-    checkpointing node (which must host no protected VMs)."""
+    """Fig. 3: orthogonal groups; every group's primary parity on one
+    dedicated checkpointing node (which must host no protected VMs).
+    With a multi-shard scheme, shards ``1..m-1`` rotate over non-member
+    compute nodes, so the default group size shrinks to leave them room.
+    """
     compute_vms = [vm for vm in cluster.all_vms if vm.node_id != checkpoint_node]
     if len(compute_vms) != len(cluster.all_vms):
         raise LayoutError(
             f"checkpoint node {checkpoint_node} hosts VMs; move them first"
         )
     n_compute = len({vm.node_id for vm in compute_vms})
-    size = group_size if group_size is not None else n_compute
-    return build_orthogonal_layout(cluster, size, parity=checkpoint_node, vms=compute_vms)
+    size = group_size if group_size is not None else n_compute - (n_parity - 1)
+    return build_orthogonal_layout(
+        cluster, size, parity=checkpoint_node, vms=compute_vms, n_parity=n_parity
+    )
 
 
 def layout_dvdc(
-    cluster: VirtualCluster, group_size: int | None = None
+    cluster: VirtualCluster, group_size: int | None = None, n_parity: int = 1
 ) -> GroupLayout:
     """Fig. 4: fully distributed — orthogonal groups, parity rotated over
-    all nodes, every node computes.  Default group size is ``n_nodes - 1``
-    (members on all nodes but one; parity on the remaining node)."""
-    size = group_size if group_size is not None else cluster.n_nodes - 1
-    return build_orthogonal_layout(cluster, size, parity="rotate")
+    all nodes, every node computes.  Default group size is
+    ``n_nodes - n_parity`` (members on all nodes but the scheme's ``m``
+    shard homes; single parity keeps the paper's ``n_nodes - 1``)."""
+    size = group_size if group_size is not None else cluster.n_nodes - n_parity
+    return build_orthogonal_layout(cluster, size, parity="rotate", n_parity=n_parity)

@@ -43,9 +43,10 @@ def validate_layout(
 ) -> LayoutReport:
     """Check orthogonality and parity independence.
 
-    ``tolerance`` is the erasure capability of the parity code in use
-    (1 for XOR, 2 for RDP): a group may co-locate at most ``tolerance``
-    elements (members + parity) per node — or per failure *domain* when
+    ``tolerance`` is the erasure capability of the coding scheme in use
+    (1 for XOR, 2 for RDP and RS(k,2), ``m`` for RS(k,m)): a group may
+    co-locate at most ``tolerance`` elements (members + parity shards)
+    per node — or per failure *domain* when
     a :class:`repro.failures.domains.FailureDomainMap` is given.
     """
     errors: list[str] = []
@@ -66,8 +67,9 @@ def validate_layout(
         per_unit: dict[int, int] = {}
         for n in nodes:
             per_unit[unit_of(n)] = per_unit.get(unit_of(n), 0) + 1
-        pu = unit_of(g.parity_node)
-        per_unit[pu] = per_unit.get(pu, 0) + 1
+        for pnode in g.parity_nodes:
+            pu = unit_of(pnode)
+            per_unit[pu] = per_unit.get(pu, 0) + 1
         for unit_id, count in per_unit.items():
             if count > tolerance:
                 errors.append(
@@ -86,8 +88,7 @@ def group_losses_if_node_fails(
         n = sum(
             1 for vm_id in g.member_vm_ids if cluster.vm(vm_id).node_id == node_id
         )
-        if g.parity_node == node_id:
-            n += 1
+        n += sum(1 for p in g.parity_nodes if p == node_id)
         if n:
             losses[g.group_id] = n
     return losses
@@ -123,8 +124,7 @@ def tolerable_node_failure_sets(
                     for vm_id in g.member_vm_ids
                     if cluster.vm(vm_id).node_id in combo
                 )
-                if g.parity_node in combo:
-                    loss += 1
+                loss += sum(1 for p in g.parity_nodes if p in combo)
                 worst = max(worst, loss)
             (survivable if worst <= tolerance else fatal).append(combo)
     return survivable, fatal
@@ -153,7 +153,8 @@ def rebalance_after_migration(
                 ok = False
                 continue
             per_node[node] = per_node.get(node, 0) + 1
-        per_node[g.parity_node] = per_node.get(g.parity_node, 0) + 1
+        for pnode in g.parity_nodes:
+            per_node[pnode] = per_node.get(pnode, 0) + 1
         if ok and max(per_node.values()) <= tolerance:
             keep.append(g)
         else:
@@ -164,10 +165,13 @@ def rebalance_after_migration(
     sizes = [g.size for g in layout.groups]
     target_size = max(sizes) if sizes else 1
     target_size = min(target_size, len({vm.node_id for vm in pool_vms}) or 1)
-    rebuilt = build_orthogonal_layout(cluster, target_size, parity="rotate", vms=pool_vms)
+    n_parity = max((len(g.parity_nodes) for g in layout.groups), default=1)
+    rebuilt = build_orthogonal_layout(
+        cluster, target_size, parity="rotate", vms=pool_vms, n_parity=n_parity
+    )
     next_id = max((g.group_id for g in keep), default=-1) + 1
     renumbered = [
-        RaidGroup(next_id + i, g.member_vm_ids, g.parity_node)
+        RaidGroup(next_id + i, g.member_vm_ids, g.parity_node, g.extra_parity_nodes)
         for i, g in enumerate(rebuilt.groups)
     ]
     return GroupLayout(keep + renumbered)

@@ -60,7 +60,7 @@ def choose_restore_node(
         return (len(n.vms), n.node_id)
 
     ideal = [n for n in alive if n.node_id not in member_nodes
-             and n.node_id != group.parity_node]
+             and n.node_id not in group.parity_nodes]
     if ideal:
         return min(ideal, key=load).node_id
     non_member = [n for n in alive if n.node_id not in member_nodes]

@@ -257,22 +257,31 @@ def estimate_from_moments(moments: Iterable[dict]) -> MonteCarloEstimate:
 # ---------------------------------------------------------------------------
 # Window of vulnerability — what self-healing buys.
 #
-# After a node failure, single-parity XOR protection is suspended until
-# the cluster is re-protected (recovery + re-encode, or a spare pulled
-# from the pool).  During that window a second failure on any *other*
-# node is unrecoverable.  The self-healer measures the realized window
+# After a node failure, one erasure of the coding scheme's tolerance is
+# spent until the cluster is re-protected (recovery + re-encode, or a
+# spare pulled from the pool).  During that window, failures exceeding
+# the scheme's remaining tolerance are unrecoverable — for single-parity
+# XOR, any second failure on any *other* node.  The self-healer measures the realized window
 # (the ``repro_degraded_window_seconds`` histogram); these helpers turn
 # a window length into a loss probability, so shrinking the window via
 # spares translates directly into availability.
 
 
-def window_loss_probability(lam: float, n_nodes: int, window: float) -> float:
-    """P(a second, unrecoverable failure strikes during the window).
+def window_loss_probability(
+    lam: float, n_nodes: int, window: float, tolerance: int = 1
+) -> float:
+    """P(unrecoverable failures strike during the vulnerability window).
 
-    With per-node failure rate ``lam``, the ``n_nodes - 1`` surviving
-    nodes fail as a pooled Poisson process of rate ``lam * (n-1)``:
+    A coding scheme of erasure ``tolerance`` ``m`` has one erasure spent
+    by the failure that opened the window, so data survives as long as
+    fewer than ``m`` of the ``n_nodes - 1`` survivors fail before
+    re-protection.  Each survivor independently fails inside the window
+    with probability ``q = 1 - e^{-\\lambda W}``, so
 
-    .. math:: P_{loss} = 1 - e^{-\\lambda (n-1) W}
+    .. math:: P_{loss} = P(\\mathrm{Binom}(n-1, q) \\ge m)
+
+    which for ``m = 1`` (XOR single parity) collapses to the pooled
+    Poisson form ``1 - e^{-\\lambda (n-1) W}``.
     """
     if lam <= 0:
         raise ValueError(f"lam must be > 0, got {lam}")
@@ -280,7 +289,18 @@ def window_loss_probability(lam: float, n_nodes: int, window: float) -> float:
         raise ValueError(f"n_nodes must be >= 2, got {n_nodes}")
     if window < 0:
         raise ValueError(f"window must be >= 0, got {window}")
-    return -math.expm1(-lam * (n_nodes - 1) * window)
+    if tolerance < 1:
+        raise ValueError(f"tolerance must be >= 1, got {tolerance}")
+    n = n_nodes - 1
+    if tolerance == 1:
+        return -math.expm1(-lam * n * window)
+    if tolerance > n:
+        return 0.0  # fewer survivors than the code can lose
+    q = -math.expm1(-lam * window)
+    return float(sum(
+        math.comb(n, i) * q**i * (1.0 - q) ** (n - i)
+        for i in range(tolerance, n + 1)
+    ))
 
 
 def estimate_window_loss(
@@ -289,18 +309,27 @@ def estimate_window_loss(
     n_nodes: int,
     window: float,
     n_runs: int = 2000,
+    tolerance: int = 1,
 ) -> MonteCarloEstimate:
     """Monte-Carlo corroboration of :func:`window_loss_probability`.
 
     Each run draws the ``n_nodes - 1`` survivors' next failure times and
-    scores a loss when the earliest lands inside the window — no use of
-    the closed form, so agreement is evidence, not tautology.
+    scores a loss when the ``tolerance``-th earliest lands inside the
+    window — no use of the closed form, so agreement is evidence, not
+    tautology.
     """
     if n_runs < 1:
         raise ValueError("n_runs must be >= 1")
-    window_loss_probability(lam, n_nodes, window)  # validate the triple
-    draws = rng.exponential(1.0 / lam, size=(n_runs, n_nodes - 1)).min(axis=1)
-    p = float((draws < window).mean())
+    # validate the full parameter set before drawing
+    window_loss_probability(lam, n_nodes, window, tolerance=tolerance)
+    if tolerance > n_nodes - 1:
+        return MonteCarloEstimate(mean=0.0, std_error=0.0, n_runs=n_runs)
+    draws = rng.exponential(1.0 / lam, size=(n_runs, n_nodes - 1))
+    if tolerance == 1:
+        kth = draws.min(axis=1)
+    else:
+        kth = np.sort(draws, axis=1)[:, tolerance - 1]
+    p = float((kth < window).mean())
     std_error = math.sqrt(max(p * (1.0 - p), 1e-12) / n_runs)
     return MonteCarloEstimate(mean=p, std_error=std_error, n_runs=n_runs)
 

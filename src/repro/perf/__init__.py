@@ -12,6 +12,7 @@ from .scale import (
     build_scale_scenario,
     compare_to_baseline,
     generate_bench,
+    coding_throughput_bench,
     heap_cancel_bench,
     run_scale_point,
     scenario_digests,
@@ -22,6 +23,7 @@ __all__ = [
     "build_scale_scenario",
     "compare_to_baseline",
     "generate_bench",
+    "coding_throughput_bench",
     "heap_cancel_bench",
     "run_scale_point",
     "scenario_digests",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import resource
 import time
 from dataclasses import dataclass, field
@@ -42,6 +43,7 @@ __all__ = [
     "run_scale_point",
     "scenario_digests",
     "heap_cancel_bench",
+    "coding_throughput_bench",
     "generate_bench",
     "compare_to_baseline",
 ]
@@ -297,6 +299,74 @@ def _noop() -> None:
 
 # ----------------------------------------------------------------------
 # BENCH_scale.json generation
+def coding_throughput_bench(k: int = 8, m: int = 2,
+                            member_bytes: int = 1 << 20,
+                            rounds: int = 3) -> dict:
+    """Encode/decode throughput of RS(k,m) next to the XOR parity path.
+
+    Times best-of-``rounds`` passes over ``k`` members of
+    ``member_bytes`` each: a full encode, and a decode of a
+    double-member erasure for RS (single-member for XOR).  Absolute
+    MB/s is host-dependent; the RS-vs-XOR *ratio* is the
+    hardware-independent number the regression gate checks.
+
+    The XOR kernels finish a quick-size pass in microseconds, where a
+    single ``perf_counter`` delta is mostly noise — each measurement
+    therefore repeats its stage until ~5 ms of wall clock accumulates
+    and reports the per-pass time, so the ratio is stable enough to
+    gate on.
+    """
+    from ..coding import ReedSolomonScheme, XorScheme
+
+    rng = np.random.default_rng(0)
+    members = [
+        rng.integers(0, 256, member_bytes, dtype=np.uint8) for _ in range(k)
+    ]
+    rs = ReedSolomonScheme(m=m, k_hint=k)
+    xor = XorScheme()
+    data_bytes = float(k * member_bytes)
+    min_wall = 5e-3
+
+    def best(fn) -> float:
+        # calibrate repetitions so one measurement spans >= min_wall
+        t0 = time.perf_counter()
+        fn()
+        once = max(time.perf_counter() - t0, 1e-9)
+        reps = max(1, int(math.ceil(min_wall / once)))
+        elapsed = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            elapsed.append((time.perf_counter() - t0) / reps)
+        return min(elapsed)
+
+    rs_shards = rs.encode(members)       # warm the Cauchy matrix cache
+    xor_shards = xor.encode(members)
+    rs_erased = [None, None] + members[2:] if k > 2 else [None] * k
+    xor_erased = [None] + members[1:]
+
+    rs_encode = best(lambda: rs.encode(members))
+    rs_decode = best(
+        lambda: rs.reconstruct(rs_erased, rs_shards, nbytes=member_bytes)
+    )
+    xor_encode = best(lambda: xor.encode(members))
+    xor_decode = best(
+        lambda: xor.reconstruct(xor_erased, xor_shards, nbytes=member_bytes)
+    )
+    return {
+        "k": k,
+        "m": m,
+        "member_bytes": member_bytes,
+        "rs_encode_mbps": data_bytes / rs_encode / 1e6,
+        "rs_decode_mbps": data_bytes / rs_decode / 1e6,
+        "xor_encode_mbps": data_bytes / xor_encode / 1e6,
+        "xor_decode_mbps": data_bytes / xor_decode / 1e6,
+        "rs_vs_xor_encode_ratio": xor_encode / rs_encode,
+        "rs_vs_xor_decode_ratio": xor_decode / rs_decode,
+    }
+
+
 # ----------------------------------------------------------------------
 #: Node counts of the full sweep.  The calendar-queue engine extends the
 #: paper-scale story past 1024 nodes to 4096 and 10240 (10k nodes /
@@ -379,6 +449,10 @@ def generate_bench(quick: bool = False, epochs: int = 3,
         })
     log("event-heap cancel-heavy microbenchmark")
     heap = heap_cancel_bench(200_000 if not quick else 50_000)
+    log("RS(8,2) vs XOR coding throughput")
+    coding = coding_throughput_bench(
+        member_bytes=(1 << 20) if not quick else (1 << 18)
+    )
     return {
         "bench": "scale",
         "quick": quick,
@@ -389,6 +463,7 @@ def generate_bench(quick: bool = False, epochs: int = 3,
         "differential_digests_identical": True,
         "points": points,
         "heap_bench": heap,
+        "coding_bench": coding,
     }
 
 
@@ -435,4 +510,25 @@ def compare_to_baseline(current: dict, baseline: dict,
                 f"{n} nodes: peak RSS {base_rss / 1e6:.0f}MB -> "
                 f"{cur_rss / 1e6:.0f}MB (noisy; warn only)"
             )
+    cur_coding = current.get("coding_bench")
+    base_coding = baseline.get("coding_bench")
+    if cur_coding and base_coding:
+        for stage in ("encode", "decode"):
+            cur_ratio = cur_coding.get(f"rs_vs_xor_{stage}_ratio")
+            base_ratio = base_coding.get(f"rs_vs_xor_{stage}_ratio")
+            # ratio = RS throughput as a fraction of XOR throughput on
+            # the same host; RS getting *slower* drops the ratio
+            if cur_ratio and base_ratio and cur_ratio < base_ratio * (1.0 - tolerance):
+                failures.append(
+                    f"coding: RS(8,2) {stage} regressed vs XOR "
+                    f"{base_ratio:.3f} -> {cur_ratio:.3f} of XOR throughput "
+                    f"(tolerance {tolerance:.0%})"
+                )
+            cur_mbps = cur_coding.get(f"rs_{stage}_mbps")
+            base_mbps = base_coding.get(f"rs_{stage}_mbps")
+            if cur_mbps and base_mbps and cur_mbps < base_mbps * (1.0 - tolerance):
+                warnings.append(
+                    f"coding: RS(8,2) {stage} {base_mbps:,.0f} -> "
+                    f"{cur_mbps:,.0f} MB/s (host-dependent; warn only)"
+                )
     return failures, warnings

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..cluster.cluster import VirtualCluster
+from ..coding import shard_key
 from ..core.dvdc import DisklessCheckpointer
 from ..core.placement import validate_layout
 from ..sim import NULL_TRACER, Tracer
@@ -187,15 +188,26 @@ class SelfHealer:
         for vm in self.cluster.all_vms:
             if vm.node_id is None:
                 out.append(f"vm {vm.vm_id} failed and not yet rebuilt")
-        out.extend(validate_layout(self.ck.layout, self.cluster, tolerance=1).errors)
+        out.extend(
+            validate_layout(
+                self.ck.layout, self.cluster, tolerance=self.ck.scheme.tolerance
+            ).errors
+        )
         for g in self.ck.layout.groups:
-            pnode = self.cluster.node(g.parity_node)
-            if not pnode.alive:
-                out.append(f"group {g.group_id}: parity node {g.parity_node} down")
-            elif g.group_id not in pnode.parity_store:
-                out.append(
-                    f"group {g.group_id}: no parity block on node {g.parity_node}"
-                )
+            for j, pnode_id in enumerate(g.parity_nodes):
+                pnode = self.cluster.node(pnode_id)
+                if not pnode.alive:
+                    out.append(
+                        f"group {g.group_id}: parity node {pnode_id} down"
+                        if j == 0
+                        else f"group {g.group_id}: shard {j} node {pnode_id} down"
+                    )
+                elif shard_key(g.group_id, j) not in pnode.parity_store:
+                    out.append(
+                        f"group {g.group_id}: no parity block on node {pnode_id}"
+                        if j == 0
+                        else f"group {g.group_id}: no shard {j} block on node {pnode_id}"
+                    )
         return out
 
     def degraded_groups(self) -> list[int]:
@@ -210,14 +222,19 @@ class SelfHealer:
             return [g.group_id for g in self.ck.layout.groups]
         out = []
         for g in self.ck.layout.groups:
-            pnode = self.cluster.node(g.parity_node)
-            if not pnode.alive or g.group_id not in pnode.parity_store:
+            pnodes = g.parity_nodes
+            shards_ok = all(
+                self.cluster.node(p).alive
+                and shard_key(g.group_id, j) in self.cluster.node(p).parity_store
+                for j, p in enumerate(pnodes)
+            )
+            if not shards_ok or len(set(pnodes)) != len(pnodes):
                 out.append(g.group_id)
                 continue
             seen: set[int] = set()
             for v in g.member_vm_ids:
                 node = self.cluster.vm(v).node_id
-                if node is None or node == g.parity_node or node in seen:
+                if node is None or node in pnodes or node in seen:
                     out.append(g.group_id)
                     break
                 seen.add(node)
@@ -320,7 +337,7 @@ class SelfHealer:
                 targets = [
                     n for n in self.cluster.alive_nodes
                     if n.node_id not in member_nodes
-                    and n.node_id != group.parity_node
+                    and n.node_id not in group.parity_nodes
                 ]
                 if not targets:
                     continue
@@ -363,6 +380,8 @@ class SelfHealer:
         _, found = self.assess()
         if not found:
             report.state = self.state
+            if self.state == ClusterHealth.PROTECTED:
+                report.window_seconds = self.last_window_seconds
             return report
         self._transition(ClusterHealth.REPROTECTING)
         for _ in range(max_rounds):

@@ -34,6 +34,7 @@ import numpy as np
 from ..cluster.checksum import block_checksum
 from ..cluster.cluster import VirtualCluster
 from ..cluster.xorsum import reconstruct_missing_padded, xor_reduce_padded
+from ..coding import XorScheme, get_scheme, shard_key
 from ..core.groups import GroupLayout
 from ..sim import NULL_TRACER, Tracer
 from ..telemetry import probe_of
@@ -66,11 +67,14 @@ class Scrubber:
         cluster: VirtualCluster,
         layout: GroupLayout,
         tracer: Tracer = NULL_TRACER,
+        scheme=None,
     ):
         self.cluster = cluster
         self.layout = layout
         self.tracer = tracer
         self.probe = probe_of(tracer)
+        self.scheme = get_scheme(scheme)
+        self._is_xor = isinstance(self.scheme, XorScheme)
         self.reports: list[ScrubReport] = []
 
     # ------------------------------------------------------------------
@@ -106,8 +110,27 @@ class Scrubber:
 
     # ------------------------------------------------------------------
     def scrub_once(self) -> ScrubReport:
-        """One full verify-and-repair sweep over every group."""
+        """One full verify-and-repair sweep over every group.
+
+        Repairability is derived from the active scheme's tolerance: a
+        corrupt artifact counts as one erasure, and any combination of
+        at most ``scheme.tolerance`` erasures per group (corrupt members
+        + corrupt or unavailable shards) is repaired in place — e.g.
+        RS(k,2) survives a corrupt shard *and* a dead shard home at
+        once, where single-parity XOR could not.
+        """
         report = ScrubReport()
+        if not self._is_xor:
+            for group in self.layout.groups:
+                self._scrub_group_scheme(report, group)
+            self.reports.append(report)
+            if report.unrepairable:
+                self.probe.count(
+                    "repro_resilience_corruptions_unrepairable_total",
+                    len(report.unrepairable),
+                    help="Corruptions the scrubber could not repair in place",
+                )
+            return report
         for group in self.layout.groups:
             pnode = self.cluster.node(group.parity_node)
             if not pnode.alive:
@@ -186,6 +209,109 @@ class Scrubber:
                 help="Corruptions the scrubber could not repair in place",
             )
         return report
+
+    def _scrub_group_scheme(self, report: ScrubReport, group) -> None:
+        """Verify-and-repair one group under a multi-shard scheme."""
+        gid = group.group_id
+        blocks = []  # (shard index, home node id, block or None)
+        for j, pnode_id in enumerate(group.parity_nodes):
+            pnode = self.cluster.node(pnode_id)
+            block = pnode.parity_store.get(shard_key(gid, j)) if pnode.alive else None
+            blocks.append((j, pnode_id, block))
+        images = self._member_images(group)
+
+        # -- detect: members first, then every shard
+        bad_members: list[int] = []
+        if images is not None:
+            for v in group.member_vm_ids:
+                vm = self.cluster.vm(v)
+                img = self.cluster.hypervisor(vm.node_id).committed(v)
+                expect = img.meta.get("checksum")
+                if expect is None:
+                    continue
+                report.scrubbed += 1
+                if block_checksum(images[v]) != expect:
+                    self._detect(report, f"image vm{v}@node{vm.node_id}")
+                    bad_members.append(v)
+        bad_shards: list[int] = []
+        gone_shards: list[int] = []
+        for j, pnode_id, block in blocks:
+            if block is None or block.data is None or block.checksum is None:
+                gone_shards.append(j)
+                continue
+            report.scrubbed += 1
+            if block_checksum(block.data) != block.checksum:
+                self._detect(report, f"shard{j} g{gid}@node{pnode_id}")
+                bad_shards.append(j)
+        if not bad_members and not bad_shards:
+            return
+
+        # -- classify: corrupt + unavailable artifacts are erasures
+        erasures = len(bad_members) + len(bad_shards) + len(gone_shards)
+        clean_shards = [
+            j for j, _, b in blocks
+            if j not in bad_shards and j not in gone_shards
+        ]
+        # replication can over-survive: any intact replica rebuilds all
+        replica_rescue = (
+            getattr(self.scheme, "copies", None) is not None and bool(clean_shards)
+        )
+        if images is None or (
+            erasures > self.scheme.tolerance and not replica_rescue
+        ):
+            for v in bad_members:
+                report.unrepairable.append(f"image vm{v}")
+            for j in bad_shards:
+                report.unrepairable.append(f"shard{j} g{gid}")
+            return
+
+        # -- repair: decode with corrupt artifacts marked lost
+        member_ids = list(group.member_vm_ids)
+        mem = [None if v in bad_members else images[v] for v in member_ids]
+        shd = [
+            None if (j in bad_shards or j in gone_shards) else block.data
+            for j, _, block in blocks
+        ]
+        length = max(p.shape[0] for p in images.values())
+        try:
+            rebuilt = self.scheme.reconstruct(mem, shd, nbytes=length)
+        except Exception:
+            for v in bad_members:
+                report.unrepairable.append(f"image vm{v}")
+            for j in bad_shards:
+                report.unrepairable.append(f"shard{j} g{gid}")
+            return
+        members_clean = True
+        for v in bad_members:
+            i = member_ids.index(v)
+            vm = self.cluster.vm(v)
+            img = self.cluster.hypervisor(vm.node_id).committed(v)
+            candidate = rebuilt[i][: images[v].shape[0]]
+            if block_checksum(candidate) != img.meta["checksum"]:
+                report.unrepairable.append(f"image vm{v}")
+                members_clean = False
+                continue
+            images[v][:] = candidate
+            self._repaired(report, f"image vm{v}")
+        if not bad_shards:
+            return
+        if not members_clean:
+            # can't re-encode from members that failed verification
+            for j in bad_shards:
+                report.unrepairable.append(f"shard{j} g{gid}")
+            return
+        fresh = self.scheme.encode([images[v] for v in member_ids])
+        for j in bad_shards:
+            block = blocks[j][2]
+            candidate = fresh[j]
+            if (
+                candidate.shape[0] != block.data.shape[0]
+                or block_checksum(candidate) != block.checksum
+            ):
+                report.unrepairable.append(f"shard{j} g{gid}")
+                continue
+            block.data[:] = candidate
+            self._repaired(report, f"shard{j} g{gid}")
 
     def run(self, interval: float):
         """Process generator: scrub every ``interval`` seconds, forever.

@@ -204,3 +204,56 @@ class TestCli:
     def test_layout_choices_enforced(self):
         with pytest.raises(SystemExit):
             main(["audit", "--layout", "fig2"])
+
+
+class TestSchemeSweep:
+    """Scheme-parameterized fuzzing and the tolerance-aware classifier."""
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            FuzzConfig(scheme="lrc-4")
+
+    def test_beyond_tolerance_marker_is_deliberate_only(self):
+        """Only the em-dash ``— beyond`` messages raised when a loss
+        genuinely exceeds the scheme's tolerance count as fate.  A
+        decode failure *within* tolerance (e.g. an RS(k,2) double fault
+        the codec should have survived) matches no marker and therefore
+        surfaces as a bug, exactly as the classifier intends."""
+        fate = "silent corruption — beyond rs-8-2 tolerance 2: g0 shard1"
+        assert any(m in fate for m in fuzzer_mod._UNRECOVERABLE_MARKERS)
+        bug = "rs-8-2 decode failed: singular survivor matrix (2 erasures)"
+        assert not any(m in bug for m in fuzzer_mod._UNRECOVERABLE_MARKERS)
+
+    @pytest.mark.parametrize("scheme", ["rs-8-2", "rep-3"])
+    def test_double_faults_never_lose_data(self, scheme):
+        """The acceptance bar: with tolerance-2 schemes, dense double
+        faults produce neither violations nor data-loss classifications
+        — schedules XOR would write off as fate."""
+        config = FuzzConfig(
+            n_nodes=6, n_cycles=3, max_faults=2, interval=60.0, scheme=scheme
+        )
+        result = fuzz(config, seeds=4, base_seed=7)
+        assert result.ok, [str(v) for t in result.failures for v in t.violations]
+        assert all(t.unrecoverable is None for t in result.trials)
+
+    def test_xor_shrink_still_one_minimal(self, monkeypatch):
+        """Tolerance-1 schemes keep producing 1-minimal reproducers:
+        an explicit ``scheme="xor"`` config shrinks a noisy schedule
+        down to exactly the single culprit fault, unchanged from the
+        pre-scheme fuzzer."""
+        culprit = FaultSpec(cycle=1, phase="mid_pause", node=2, frac=0.5)
+        noise = [
+            FaultSpec(cycle=0, phase="idle", node=0, frac=0.3),
+            FaultSpec(cycle=2, phase="post_commit", node=1, frac=0.7),
+        ]
+
+        class FakeTrial:
+            def __init__(self, failed):
+                self.failed = failed
+
+        def fake_run_trial(config, schedule, seed, tracer=None):
+            return FakeTrial(culprit in schedule)
+
+        monkeypatch.setattr(fuzzer_mod, "run_trial", fake_run_trial)
+        config = FuzzConfig(n_nodes=6, n_cycles=3, scheme="xor")
+        assert shrink(config, (noise[0], culprit, noise[1]), seed=0) == (culprit,)

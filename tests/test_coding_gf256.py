@@ -1,0 +1,138 @@
+"""GF(256) algebra underneath the Reed–Solomon scheme: exhaustive
+round-trips, table consistency, and matrix-inverse identities.
+
+The field (polynomial 0x11D) is tiny enough to verify *completely* —
+these tests sweep every element rather than sampling, so a wrong table
+entry or a lost carry in the log/exp construction cannot hide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    GF_EXP,
+    GF_LOG,
+    MUL_TABLE,
+    cauchy_matrix,
+    gf_div,
+    gf_inv,
+    gf_matinv,
+    gf_matmul,
+    gf_mul,
+    gf_mul_vec,
+)
+
+
+class TestFieldAlgebra:
+    def test_mul_table_matches_scalar_mul_exhaustively(self):
+        a = np.arange(256, dtype=np.intp)
+        for x in range(256):
+            row = MUL_TABLE[x, a]
+            expect = np.array([gf_mul(x, y) for y in range(256)], dtype=np.uint8)
+            assert np.array_equal(row, expect), f"MUL_TABLE row {x} wrong"
+
+    def test_mul_table_is_read_only(self):
+        with pytest.raises((ValueError, RuntimeError)):
+            MUL_TABLE[0, 0] = 1
+
+    def test_zero_and_one_laws(self):
+        for x in range(256):
+            assert gf_mul(x, 0) == 0
+            assert gf_mul(0, x) == 0
+            assert gf_mul(x, 1) == x
+            assert gf_mul(1, x) == x
+
+    def test_commutativity_exhaustive(self):
+        assert np.array_equal(MUL_TABLE, MUL_TABLE.T)
+
+    def test_associativity_and_distributivity_sampled(self):
+        rng = np.random.default_rng(0x11D)
+        trip = rng.integers(0, 256, size=(500, 3))
+        for a, b, c in trip:
+            a, b, c = int(a), int(b), int(c)
+            assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+            assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    def test_inverse_round_trip_every_nonzero_element(self):
+        for x in range(1, 256):
+            inv = gf_inv(x)
+            assert 1 <= inv <= 255
+            assert gf_mul(x, inv) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_div_is_mul_by_inverse_exhaustive(self):
+        for a in range(256):
+            for b in (1, 2, 3, 29, 76, 142, 255):
+                assert gf_div(gf_mul(a, b), b) == a
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_log_exp_tables_are_mutually_consistent(self):
+        # exp is doubled so exp[log a + log b] never needs a mod
+        for x in range(1, 256):
+            assert GF_EXP[GF_LOG[x]] == x
+        # the generator's order is 255: the first cycle has no repeats
+        assert len({int(GF_EXP[i]) for i in range(255)}) == 255
+
+    def test_gf_mul_vec_matches_scalar(self):
+        vec = np.arange(256, dtype=np.uint8)
+        for coeff in (0, 1, 2, 0x53, 0xFF):
+            out = gf_mul_vec(coeff, vec)
+            expect = np.array([gf_mul(coeff, v) for v in range(256)], np.uint8)
+            assert np.array_equal(out, expect)
+
+
+class TestMatrices:
+    def _random_invertible(self, rng, n):
+        # square Cauchy blocks are always invertible; perturb via row scaling
+        m = cauchy_matrix(n, n)
+        scale = rng.integers(1, 256, size=n)
+        return np.array(
+            [MUL_TABLE[int(s), row.astype(np.intp)] for s, row in zip(scale, m)],
+            dtype=np.uint8,
+        )
+
+    def test_matinv_round_trip(self):
+        rng = np.random.default_rng(7)
+        for n in (1, 2, 3, 5, 8):
+            m = self._random_invertible(rng, n)
+            inv = gf_matinv(m)
+            ident = np.eye(n, dtype=np.uint8)
+            assert np.array_equal(gf_matmul(m, inv), ident)
+            assert np.array_equal(gf_matmul(inv, m), ident)
+
+    def test_matinv_rejects_singular(self):
+        sing = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(Exception):
+            gf_matinv(sing)
+
+    def test_cauchy_block_shape_and_density(self):
+        for k, m in ((2, 1), (4, 2), (8, 3)):
+            c = cauchy_matrix(k, m)
+            assert c.shape == (m, k)
+            # Cauchy entries 1/(x_i + y_j) are never zero
+            assert np.all(c != 0)
+        with pytest.raises(ValueError):
+            cauchy_matrix(0, 1)
+        with pytest.raises(ValueError):
+            cauchy_matrix(250, 10)
+
+    def test_cauchy_generator_is_mds(self):
+        """Every k×k submatrix of ``[I_k ; C]``'s rows is invertible —
+        the property the decoder relies on for *arbitrary* ≤m-erasure
+        patterns."""
+        from itertools import combinations
+
+        k, m = 4, 3
+        g = np.concatenate(
+            [np.eye(k, dtype=np.uint8), cauchy_matrix(k, m)], axis=0
+        )
+        for rows in combinations(range(k + m), k):
+            sub = g[list(rows)]
+            inv = gf_matinv(sub)
+            assert np.array_equal(
+                gf_matmul(sub, inv), np.eye(k, dtype=np.uint8)
+            ), f"rows {rows} not invertible"

@@ -225,3 +225,54 @@ class TestWindowLoss:
         a = estimate_window_loss(np.random.default_rng(5), 1e-3, 4, 60.0)
         b = estimate_window_loss(np.random.default_rng(5), 1e-3, 4, 60.0)
         assert a.mean == b.mean
+
+
+class TestWindowLossTolerance:
+    """m-failure generalization of the window-of-vulnerability model.
+
+    With an m-erasure scheme the window is only lost when at least
+    ``tolerance`` of the n−1 survivors fail before reprotection — a
+    binomial tail over per-node window-failure probability q."""
+
+    def test_tolerance_one_matches_legacy_closed_form(self):
+        lam, n, w = 1 / 7200.0, 6, 200.0
+        assert window_loss_probability(lam, n, w, tolerance=1) == pytest.approx(
+            1.0 - math.exp(-lam * (n - 1) * w)
+        )
+
+    def test_binomial_tail_matches_direct_sum(self):
+        lam, n, w, t = 1 / 3600.0, 5, 300.0, 2
+        q = 1.0 - math.exp(-lam * w)
+        survivors = n - 1
+        expect = sum(
+            math.comb(survivors, i) * q**i * (1 - q) ** (survivors - i)
+            for i in range(t, survivors + 1)
+        )
+        assert window_loss_probability(lam, n, w, tolerance=t) == pytest.approx(expect)
+
+    def test_higher_tolerance_strictly_safer(self):
+        lam, n, w = 1 / 3600.0, 8, 300.0
+        probs = [window_loss_probability(lam, n, w, tolerance=t) for t in (1, 2, 3)]
+        assert probs[0] > probs[1] > probs[2] > 0.0
+
+    def test_tolerance_beyond_survivors_is_certain_safety(self):
+        assert window_loss_probability(1e-3, 4, 100.0, tolerance=3) > 0.0
+        assert window_loss_probability(1e-3, 4, 100.0, tolerance=4) == 0.0
+        est = estimate_window_loss(
+            np.random.default_rng(1), 1e-3, 4, 100.0, tolerance=4
+        )
+        assert est.mean == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_loss_probability(1e-3, 4, 10.0, tolerance=0)
+        with pytest.raises(ValueError):
+            estimate_window_loss(np.random.default_rng(0), 1e-3, 4, 10.0, tolerance=0)
+
+    @pytest.mark.parametrize("tolerance", [2, 3])
+    def test_monte_carlo_corroborates(self, rng, tolerance):
+        lam, n, w = 1 / 900.0, 8, 400.0  # hot enough for nonzero tail mass
+        est = estimate_window_loss(rng, lam, n, w, n_runs=40000, tolerance=tolerance)
+        exact = window_loss_probability(lam, n, w, tolerance=tolerance)
+        assert exact > 0.0
+        assert abs(est.mean - exact) < 5 * est.std_error + 1e-9
