@@ -44,6 +44,7 @@ class Auditor:
         tracer: Tracer = NULL_TRACER,
         strict: bool = False,
         scheme=None,
+        domains=None,
     ):
         from ..coding import get_scheme
 
@@ -53,6 +54,8 @@ class Auditor:
         self.probe = probe_of(tracer)
         self.strict = strict
         self.scheme = get_scheme(scheme)
+        #: optional FailureDomainMap: layout validity judged per domain
+        self.domains = domains
         self.reports: list[AuditReport] = []
         self.n_audits = 0
         self.stale_captures_seen = 0
@@ -74,6 +77,7 @@ class Auditor:
             strict=self.strict if strict is None else strict,
             context=context,
             scheme=self.scheme,
+            domains=self.domains,
         )
         self.reports.append(report)
         self.n_audits += 1

@@ -57,10 +57,11 @@ __all__ = [
 #: protocol phases a fault can target, in within-cycle firing order
 PHASES = ("idle", "mid_pause", "mid_exchange", "post_commit", "mid_recovery")
 
-#: fault kinds: ``kill`` is the classic fail-stop crash; the rest are
-#: transient (see :mod:`repro.resilience.faults`) and only drawn when
+#: fault kinds: ``kill`` is the classic fail-stop crash; ``site`` is the
+#: correlated whole-site outage (geo mode only); the rest are transient
+#: (see :mod:`repro.resilience.faults`) and only drawn when
 #: :attr:`FuzzConfig.transient` is set
-KINDS = ("kill", "flap", "degrade", "drop", "corrupt")
+KINDS = ("kill", "site", "flap", "degrade", "drop", "corrupt")
 
 #: paper figures the fuzzer knows how to build
 LAYOUTS = ("fig1", "fig3", "fig4")
@@ -143,12 +144,31 @@ class FuzzConfig:
     #: erasure-coding scheme spec (see :func:`repro.coding.parse_scheme`);
     #: the recoverable-vs-unrecoverable classifier follows its tolerance
     scheme: str = "xor"
+    #: >= 2 turns geo mode on: the cluster becomes that many sites on a
+    #: :class:`~repro.geo.topology.GeoTopology`, schedules gain ``site``
+    #: faults, and the fate-vs-bug classifier goes tolerance-aware
+    geo_sites: int = 0
+    #: placement policy under geo mode: ``geo-spread`` (site-orthogonal
+    #: groups — a site kill is survivable in-tolerance) or ``remus-async``
+    #: (local parity + remote copies — a site kill beyond tolerance must
+    #: salvage everything its copies covered, or it is a bug)
+    geo_policy: str = "geo-spread"
 
     def __post_init__(self):
         if self.layout not in LAYOUTS:
             raise ValueError(f"layout must be one of {LAYOUTS}, got {self.layout!r}")
         if self.n_nodes < 3:
             raise ValueError("fuzzing needs >= 3 nodes")
+        if self.geo_sites:
+            if self.geo_sites < 2:
+                raise ValueError("geo mode needs >= 2 sites")
+            if self.layout != "fig4":
+                raise ValueError("geo mode requires the fig4 (DVDC) layout")
+            if self.geo_policy not in ("geo-spread", "remus-async"):
+                raise ValueError(
+                    f"geo_policy must be geo-spread or remus-async, "
+                    f"got {self.geo_policy!r}"
+                )
         from ..coding import parse_scheme
 
         parse_scheme(self.scheme)  # fail fast on unknown specs
@@ -240,6 +260,12 @@ def draw_schedule(rng: np.random.Generator, config: FuzzConfig) -> tuple[FaultSp
             kind = str(rng.choice(vocab, p=weights))
             duration = float(rng.uniform(0.05, 1.5))
             severity = float(rng.uniform(0.1, 0.9))
+        if config.geo_sites:
+            # geo draw comes LAST, gated on the mode, so classic (non-geo)
+            # streams for the same seed are byte-identical — common random
+            # numbers again.  ~30% of kills escalate to whole-site outages.
+            if kind == "kill" and float(rng.uniform()) < 0.3:
+                kind = "site"
         faults.append(FaultSpec(
             cycle=cycle, phase=phase, node=node, frac=frac,
             kind=kind, duration=duration, severity=severity,
@@ -265,11 +291,23 @@ _STRATEGIES = {
 
 
 def _build(config: FuzzConfig, seed: int, tracer: Tracer):
-    """Deterministically build (sim, cluster, checkpointer, auditor)."""
+    """Deterministically build
+    (sim, cluster, checkpointer, auditor, geo, domains, replicator) —
+    the last three ``None`` outside geo mode."""
     from ..coding import parse_scheme
 
     sim = Simulator()
-    cluster = VirtualCluster(sim, ClusterSpec(n_nodes=config.n_nodes), tracer=tracer)
+    geo = domains = None
+    if config.geo_sites:
+        from ..geo import GeoSpec, geo_cluster_spec
+
+        geo = GeoSpec(n_nodes=config.n_nodes, n_sites=config.geo_sites)
+        if config.geo_policy == "geo-spread":
+            domains = geo.domain_map("site")
+        spec = geo_cluster_spec(geo)
+    else:
+        spec = ClusterSpec(n_nodes=config.n_nodes)
+    cluster = VirtualCluster(sim, spec, tracer=tracer)
     content = np.random.default_rng([seed, 0xC0])
     shape = np.random.default_rng([seed, 0x51])
     coding = parse_scheme(config.scheme)
@@ -324,10 +362,18 @@ def _build(config: FuzzConfig, seed: int, tracer: Tracer):
         ck = dvdc(
             cluster, strategy=strategy, tracer=tracer,
             retry=retry, retry_rng=retry_rng, scheme=coding,
+            domains=domains,
         )
-    auditor = Auditor(cluster, ck.layout, tracer=tracer, scheme=coding)
+    replicator = None
+    if geo is not None and config.geo_policy == "remus-async":
+        from ..geo import RemusAsyncReplicator
+
+        replicator = RemusAsyncReplicator(cluster, geo, ck, tracer=tracer)
+    auditor = Auditor(
+        cluster, ck.layout, tracer=tracer, scheme=coding, domains=domains,
+    )
     ck.attach_auditor(auditor)
-    return sim, cluster, ck, auditor
+    return sim, cluster, ck, auditor, geo, domains, replicator
 
 
 def run_trial(
@@ -337,7 +383,9 @@ def run_trial(
     tracer: Tracer = NULL_TRACER,
 ) -> TrialResult:
     """Drive one schedule through ``n_cycles`` epochs and audit throughout."""
-    sim, cluster, ck, auditor = _build(config, seed, tracer)
+    sim, cluster, ck, auditor, geo, domains, replicator = _build(
+        config, seed, tracer
+    )
     dirt = np.random.default_rng([seed, 0xD1])
     chaos = np.random.default_rng([seed, 0xCA])  # corruption targeting
     trial = TrialResult(seed=seed, config=config, schedule=schedule)
@@ -362,6 +410,11 @@ def run_trial(
     def fire(f: FaultSpec) -> None:
         if f.kind == "kill":
             kill(f.node)
+            return
+        if f.kind == "site":
+            # correlated outage: every node in the anchor's site goes down
+            for nid in geo.nodes_in_site(geo.site_of(f.node)):
+                kill(nid)
             return
         trial.transients_fired.append(f)
         topo = cluster.topology
@@ -399,6 +452,56 @@ def run_trial(
             raise
         trial.recoveries += 1
 
+    def salvage_and_converge(cycle: int):
+        """Remote-copy salvage of a beyond-tolerance loss (remus-async).
+
+        Tolerance-aware classification: state inside the replication lag
+        window (no copy yet) or whose standby also died is *fate*; a VM
+        the replicator held a live copy for MUST come back — losing it
+        anyway is a bug.  Afterwards repair everything, converge epochs
+        with one fresh cycle, and re-baseline the bit-exact snapshots
+        (salvaged state legitimately rolled back past them).
+        """
+        report = yield from replicator.salvage_cluster()
+        trial.recoveries += 1
+        for vm_id in report.unsalvageable:
+            copy = replicator.copies.get(vm_id)
+            if copy is not None and cluster.node(copy.node_id).alive:
+                trial.violations.append(Violation(
+                    "remus-coverage", FATAL, f"vm {vm_id}",
+                    "lost despite a live remote copy at epoch "
+                    f"{copy.epoch} on node {copy.node_id} — remus-async "
+                    "should have covered it after its lag window",
+                ))
+        for n in cluster.nodes:
+            if not n.alive:
+                cluster.repair_node(n.node_id)
+                if n.node_id in pending:
+                    pending.remove(n.node_id)
+        still_lost = [
+            vm.vm_id for vm in cluster.all_vms if vm.node_id is None
+        ]
+        if still_lost:
+            raise Unrecoverable(
+                f"site loss — beyond {ck.scheme.name} tolerance and "
+                f"outside the replication window for vms {still_lost}"
+            )
+        # standby assignment ignores group structure, so salvage can pile
+        # several elements of one group onto one node — re-home members
+        # (node-granular respread), then let heal() re-place parity
+        from ..geo import respread_groups
+
+        yield from respread_groups(
+            ck, cluster, geo.domain_map("node"), tracer
+        )
+        yield from ck.heal()
+        expected.clear()
+        result = yield from ck.run_cycle()
+        if result.committed:
+            trial.commits += 1
+            snapshot_committed()
+            yield from replicator.replicate_epoch()
+
     def drain(cycle: int, rec_est: float):
         """Recover + repair + heal until no failed node or VM remains.
 
@@ -417,12 +520,30 @@ def run_trial(
                         sim.schedule(max(f.frac * rec_est, 1e-9), fire, f)
                 if scrub is not None:
                     scrub.scrub_once()
-                yield from recover_classified(node)
+                try:
+                    yield from recover_classified(node)
+                except Unrecoverable:
+                    if replicator is None:
+                        raise
+                    yield from salvage_and_converge(cycle)
+                    continue
                 cluster.repair_node(node)
                 yield from ck.heal()
                 continue
             recovered = all(vm.node_id is not None for vm in cluster.all_vms)
             if recovered or not config.transient or stalls >= 3:
+                if (
+                    recovered
+                    and domains is not None
+                    and all(n.alive for n in cluster.nodes)
+                ):
+                    # geo-spread: recovery during a site outage legally
+                    # lands members co-sited; re-home them before the
+                    # quiescent strict audit judges the layout per domain
+                    from ..geo import respread_groups
+
+                    yield from respread_groups(ck, cluster, domains, tracer)
+                    yield from ck.heal()
                 return
             stalls += 1
             yield sim.timeout(max(rec_est, 2.0))  # let the outage clear
@@ -465,6 +586,8 @@ def run_trial(
         assert prime.committed
         trial.commits += 1
         snapshot_committed()
+        if replicator is not None:
+            yield from replicator.replicate_epoch()
         pause_est = max(prime.overhead, 1e-3)
         cycle_est = max(prime.latency, pause_est * 2)
         rec_est = max(cycle_est - pause_est, 1e-3)
@@ -501,6 +624,10 @@ def run_trial(
                     fire(f)
             yield from drain(cycle, rec_est)
             quiescent_audit(f"cycle {cycle}")
+            if replicator is not None and result.committed:
+                # asynchronous ship-out: anything that dies before the
+                # NEXT replication pass is inside the lag window (fate)
+                yield from replicator.replicate_epoch()
 
         yield from drain(config.n_cycles, rec_est)
         quiescent_audit("end")

@@ -330,6 +330,7 @@ def check_layout_validity(
     layout: "GroupLayout",
     strict: bool = False,
     scheme=None,
+    domains=None,
 ) -> list[Violation]:
     """Orthogonality + parity independence (Fig. 2).
 
@@ -338,8 +339,14 @@ def check_layout_validity(
     (:func:`repro.core.recovery.choose_restore_node` falls back on
     purpose).  ``heal()`` repairs them once nodes return — so these are
     fatal only under ``strict`` (quiescent cluster, everything repaired).
+
+    With ``domains`` set, orthogonality is judged per failure domain
+    (geo-spread: no two elements of a group in one rack/site), not per
+    node.
     """
-    report = validate_layout(layout, cluster, tolerance=get_scheme(scheme).tolerance)
+    report = validate_layout(
+        layout, cluster, tolerance=get_scheme(scheme).tolerance, domains=domains
+    )
     return [
         Violation("layout-validity", _severity(strict), "layout", err)
         for err in report.errors
@@ -491,6 +498,7 @@ def audit_cluster(
     strict: bool = False,
     context: str = "",
     scheme=None,
+    domains=None,
 ) -> AuditReport:
     """Run every invariant checker and aggregate the findings.
 
@@ -510,7 +518,7 @@ def audit_cluster(
         check_parity_coherence(cluster, layout, strict, scheme=scheme)
     )
     report.violations.extend(
-        check_layout_validity(cluster, layout, strict, scheme=scheme)
+        check_layout_validity(cluster, layout, strict, scheme=scheme, domains=domains)
     )
     report.violations.extend(
         check_epoch_coherence(cluster, layout, committed_epoch, strict)

@@ -291,3 +291,20 @@ def run_serving_cell_task(params: dict, seed: int | None) -> dict:
         ServingLoad(**params["load"]),
         int(params["trace_seed"]),
     )
+
+
+@register_task("geo_cell", version="1")
+def run_geo_cell(params: dict, seed: int | None) -> dict:
+    """One (policy, seed) cell of the geo placement study.
+
+    params: any :class:`~repro.geo.GeoConfig` field.  Trace is forced on
+    so the flow digest is populated; the geo golden determinism tests
+    run the full policy matrix under ``--jobs 1`` and ``--jobs 4`` and
+    require byte-identical results.
+    """
+    from ..geo.study import GeoConfig, run_geo_point
+
+    cfg = GeoConfig(**{**params, "trace": True})
+    result = run_geo_point(cfg, collect_digests=True)
+    result["sim_time"] = result["sim_time"].hex()
+    return result

@@ -624,7 +624,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
     if args.heal:
         return _audit_heal(args)
-    layouts = list(LAYOUTS) if args.layout == "all" else [args.layout]
+    geo_sites = getattr(args, "geo", 0)
+    if geo_sites:
+        layouts = ["fig4"]  # geo mode is DVDC-only
+    else:
+        layouts = list(LAYOUTS) if args.layout == "all" else [args.layout]
     failed = False
     for layout in layouts:
         config = FuzzConfig(
@@ -637,6 +641,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             transient=args.transient,
             scheme=args.scheme,
+            geo_sites=geo_sites,
+            geo_policy=args.geo_policy,
         )
         if args.fuzz:
             result = fuzz(
@@ -657,6 +663,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                   format_seconds(result.elapsed)]],
                 title=f"audit fuzz: {layout}"
                       + (f" [{args.scheme}]" if args.scheme != "xor" else "")
+                      + (f" geo:{args.geo_policy}x{geo_sites}"
+                         if geo_sites else "")
                       + (" +transient" if args.transient else "")
                       + (" (budget exhausted)" if result.budget_exhausted else ""),
             ))
@@ -683,6 +691,127 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 failed = True
                 print(f"  {v}")
     return 1 if failed else 0
+
+
+def _geo_config(args: argparse.Namespace):
+    from .geo import GeoConfig
+
+    return GeoConfig(
+        n_nodes=args.nodes,
+        n_sites=args.sites,
+        racks_per_site=args.racks_per_site,
+        vms_per_node=args.vms_per_node,
+        epochs=args.epochs,
+        seed=args.seed,
+        scheme=args.scheme,
+        wan_bandwidth=args.wan_bandwidth,
+        wan_latency=args.wan_latency,
+        kill_site=args.kill_site,
+        lag_epochs=args.lag_epochs,
+    )
+
+
+def _geo_cell_row(r: dict) -> list:
+    return [
+        r["policy"], r["seed"] if "seed" in r else "", r["kill_site"],
+        "yes" if r["beyond_tolerance"] else "no",
+        "yes" if r["survived"] else "NO",
+        r["rollback_epochs"], r["salvaged_vms"], r["respread_vms"],
+        f"{r['wan_bytes'] / 1e9:.1f}",
+    ]
+
+
+_GEO_HEADERS = ["policy", "seed", "killed", "beyond-tol", "survived",
+                "rollback", "salvaged", "respread", "wan GB"]
+
+
+def _cmd_geo_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace as _replace
+
+    from .geo import run_geo_point
+
+    cfg = _replace(_geo_config(args), policy=args.policy)
+    r = run_geo_point(cfg)
+    row = _geo_cell_row(r)
+    row[1] = cfg.seed
+    print(render_table(
+        _GEO_HEADERS, [row],
+        title=f"geo run: {cfg.n_nodes} nodes / {cfg.n_sites} sites "
+              f"[{cfg.scheme}]",
+    ))
+    if r.get("audit_violations"):
+        for v in r["audit_violations"][:5]:
+            print(f"  {v}")
+    ok = r["survived"] or (cfg.policy == "local-parity" and r["beyond_tolerance"])
+    return 0 if ok and not r.get("audit_violations") else 1
+
+
+def _cmd_geo_study(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore
+    from .geo import run_geo_study
+
+    cfg = _geo_config(args)
+    store = ResultStore(args.store) if args.store else None
+    study = run_geo_study(
+        cfg, policies=tuple(args.policies),
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        jobs=args.jobs, store=store,
+    )
+    rows = []
+    for cell in study["cells"]:
+        row = _geo_cell_row(cell)
+        rows.append(row)
+    print(render_table(
+        _GEO_HEADERS, rows,
+        title=f"geo study: {cfg.n_nodes} nodes / {cfg.n_sites} sites, "
+              f"site kill={'worst' if cfg.kill_site == -1 else cfg.kill_site}",
+    ))
+    for policy, s in study["summary"].items():
+        print(f"  {policy}: {s['survived']}/{s['cells']} survived, "
+              f"{s['data_lost']} lost data, "
+              f"mean rollback {s['mean_rollback_epochs']:.1f} epochs, "
+              f"mean WAN {s['mean_wan_bytes'] / 1e9:.1f} GB")
+    return 0
+
+
+def _cmd_bench_geo(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .geo import generate_geo_bench
+
+    result = generate_geo_bench(quick=args.quick, log=lambda m: print(f"  {m}"))
+    rows = [
+        [p["policy"], p["site_cost"],
+         f"{p['closed_form']:.4g}", f"{p['mc_mean']:.4g}",
+         f"{p['mc_std_error']:.2g}",
+         "yes" if p["agrees"] else "NO",
+         "yes" if p["predicted_beyond_tolerance"] else "no",
+         "yes" if p["matches_sim"] else "NO"]
+        for p in result["model"]["points"]
+    ]
+    print(render_table(
+        ["policy", "site-cost", "closed form", "MC mean", "MC stderr",
+         "agrees", "pred beyond-tol", "matches sim"],
+        rows, title="geo bench: window-loss model vs Monte-Carlo",
+    ))
+    summary = result["summary"]
+    for policy, s in summary.items():
+        print(f"  {policy}: {s['survived']}/{s['cells']} survived a "
+              f"full-site outage")
+    if args.write:
+        with open(args.out, "w") as fh:
+            _json.dump(result, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    ok = (
+        all(p["agrees"] and p["matches_sim"] for p in result["model"]["points"])
+        and summary["local-parity"]["survived"] == 0
+        and summary["geo-spread"]["survived"] == summary["geo-spread"]["cells"]
+        and summary["remus-async"]["survived"] == summary["remus-async"]["cells"]
+    )
+    if not ok:
+        print("bench geo FAILED: survival matrix or model corroboration "
+              "does not match predictions")
+    return 0 if ok else 1
 
 
 def _cmd_bench_scale(args: argparse.Namespace) -> int:
@@ -1248,6 +1377,14 @@ def build_parser() -> argparse.ArgumentParser:
     au.add_argument("--scheme", default="xor",
                     help="coding scheme for trials: xor, rdp, rs-<k>-<m>, "
                          "rep-<n> (default xor)")
+    au.add_argument("--geo", type=int, default=0, metavar="SITES",
+                    help="geo mode: split the cluster into SITES failure "
+                         "domains, add correlated whole-site kills to the "
+                         "schedule, and classify fate vs bug tolerance-"
+                         "aware (forces the fig4 layout)")
+    au.add_argument("--geo-policy", choices=["geo-spread", "remus-async"],
+                    default="geo-spread",
+                    help="geo: placement policy under test")
     au.set_defaults(func=_cmd_audit)
 
     be = sub.add_parser("bench", help="performance benchmarks")
@@ -1293,6 +1430,69 @@ def build_parser() -> argparse.ArgumentParser:
                     help="allowed fractional throughput regression "
                          "(warn-only) for --check")
     bv.set_defaults(func=_cmd_bench_serving)
+
+    bg = besub.add_parser(
+        "geo",
+        help="georedundancy bench: policy survival matrix under a "
+             "full-site outage + window-loss model corroboration",
+    )
+    bg.add_argument("--quick", action="store_true",
+                    help="one seed and fewer Monte-Carlo runs (CI mode)")
+    bg.add_argument("--write", action="store_true",
+                    help="write the result JSON (see --out)")
+    bg.add_argument("--out", default="BENCH_geo.json",
+                    help="output path for --write")
+    bg.set_defaults(func=_cmd_bench_geo)
+
+    geo = sub.add_parser(
+        "geo",
+        help="multi-site georedundancy: one placement-policy cell or "
+             "the three-policy survival study",
+    )
+    geosub = geo.add_subparsers(dest="geo_command", required=True)
+
+    def _geo_common(sp) -> None:
+        sp.add_argument("--nodes", type=_positive_int, default=12)
+        sp.add_argument("--sites", type=_positive_int, default=3)
+        sp.add_argument("--racks-per-site", type=_positive_int, default=2)
+        sp.add_argument("--vms-per-node", type=_positive_int, default=1)
+        sp.add_argument("--epochs", type=_positive_int, default=2)
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--scheme", default="xor",
+                        help="coding scheme: xor, rdp, rs-<k>-<m>, rep-<n>")
+        sp.add_argument("--wan-bandwidth", type=float, default=12.5e6,
+                        help="WAN uplink bandwidth, bytes/s")
+        sp.add_argument("--wan-latency", type=float, default=20e-3,
+                        help="WAN round-trip latency, seconds")
+        sp.add_argument("--kill-site", type=int, default=-1,
+                        help="site to fail after the last commit "
+                             "(-1 = worst for the layout; use --no-kill "
+                             "for a fault-free run)")
+        sp.add_argument("--no-kill", dest="kill_site",
+                        action="store_const", const=None,
+                        help="fault-free run (no site outage)")
+        sp.add_argument("--lag-epochs", type=_positive_int, default=1,
+                        help="remus-async: final epochs still inside the "
+                             "replication lag window when the site dies")
+
+    gr = geosub.add_parser(
+        "run", help="one cell: a single policy through the site outage"
+    )
+    _geo_common(gr)
+    gr.add_argument("--policy", default="geo-spread",
+                    choices=["local-parity", "geo-spread", "remus-async"])
+    gr.set_defaults(func=_cmd_geo_run)
+
+    gs = geosub.add_parser(
+        "study",
+        help="three-policy survival matrix over shared seeds",
+    )
+    _geo_common(gs)
+    gs.add_argument("--policies", nargs="+",
+                    default=["local-parity", "geo-spread", "remus-async"])
+    gs.add_argument("--seeds", type=_positive_int, default=2)
+    _add_campaign_flags(gs)
+    gs.set_defaults(func=_cmd_geo_study)
 
     sv = sub.add_parser(
         "serving",

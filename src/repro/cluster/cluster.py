@@ -46,6 +46,7 @@ class ClusterSpec:
         nas_disk: DiskSpec | None = None,
         latency: float = DEFAULT_LATENCY,
         allocator: str = "incremental",
+        topology_factory=None,
     ):
         if n_nodes < 1:
             raise ValueError(f"need >= 1 node, got {n_nodes}")
@@ -58,6 +59,10 @@ class ClusterSpec:
         self.latency = latency
         #: fluid-flow reallocation strategy (see repro.network.link)
         self.allocator = allocator
+        #: optional ``(sim, spec, tracer) -> ClusterTopology`` override;
+        #: None keeps the flat switched fabric (see repro.geo for the
+        #: hierarchical multi-site variant)
+        self.topology_factory = topology_factory
 
 
 class VirtualCluster:
@@ -77,15 +82,18 @@ class VirtualCluster:
             for i in range(self.spec.n_nodes)
         ]
         self.hypervisors: list[Hypervisor] = [Hypervisor(n) for n in self.nodes]
-        self.topology = SwitchedTopology(
-            sim,
-            self.spec.n_nodes,
-            node_bandwidth=self.spec.node_bandwidth,
-            nas_bandwidth=self.spec.nas_bandwidth,
-            latency=self.spec.latency,
-            tracer=tracer,
-            allocator=self.spec.allocator,
-        )
+        if self.spec.topology_factory is not None:
+            self.topology = self.spec.topology_factory(sim, self.spec, tracer)
+        else:
+            self.topology = SwitchedTopology(
+                sim,
+                self.spec.n_nodes,
+                node_bandwidth=self.spec.node_bandwidth,
+                nas_bandwidth=self.spec.nas_bandwidth,
+                latency=self.spec.latency,
+                tracer=tracer,
+                allocator=self.spec.allocator,
+            )
         self.nas = NAS(sim, disk_spec=self.spec.nas_disk, tracer=tracer)
         self.vms: dict[int, VirtualMachine] = {}
         self._next_vm_id = 0

@@ -125,6 +125,11 @@ class ControlPlane:
         self.maintenance: set[int] = set()
         #: nodes fenced and not yet back in service
         self.fenced: set[int] = set()
+        # recovery placement inside the checkpointer (parity re-homes,
+        # restore targets) must honor the same cordons drain targeting
+        # does — otherwise a drain's own parity re-encode can land on a
+        # node being drained (see the geo cordon regression test)
+        checkpointer.cordons = lambda: self.maintenance | self.fenced
         self.ops: list[Operation] = []
         self.audits: list[AuditReport] = []
         self.recoveries: list = []

@@ -80,11 +80,20 @@ def dvdc(
     retry=None,
     retry_rng=None,
     scheme=None,
+    domains=None,
 ) -> DisklessCheckpointer:
-    """Fig. 4 — Distributed Virtual Diskless Checkpointing."""
+    """Fig. 4 — Distributed Virtual Diskless Checkpointing.
+
+    ``domains`` (a :class:`~repro.failures.domains.FailureDomainMap`)
+    switches the layout and recovery placement to geo-spread: group
+    elements on pairwise-distinct failure domains, preserved through
+    rebuilds and re-homes whenever capacity allows.
+    """
     coding = get_scheme(scheme)
-    layout = layout_dvdc(cluster, group_size, n_parity=coding.n_shards)
+    layout = layout_dvdc(
+        cluster, group_size, n_parity=coding.n_shards, domains=domains
+    )
     return DisklessCheckpointer(
         cluster, layout, strategy, compression, xor_bandwidth, tracer, auditor,
-        retry=retry, retry_rng=retry_rng, scheme=coding,
+        retry=retry, retry_rng=retry_rng, scheme=coding, domains=domains,
     )

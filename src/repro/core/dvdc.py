@@ -108,6 +108,7 @@ class DisklessCheckpointer:
         retry=None,
         retry_rng=None,
         scheme: CodingScheme | str | None = None,
+        domains=None,
     ):
         if xor_bandwidth <= 0:
             raise ValueError(f"xor_bandwidth must be > 0, got {xor_bandwidth}")
@@ -133,6 +134,14 @@ class DisklessCheckpointer:
         #: ``post_capture``); see :class:`repro.audit.Auditor`.  Duck-typed
         #: so the core stays import-free of :mod:`repro.audit`.
         self.auditor = auditor
+        #: optional :class:`~repro.failures.domains.FailureDomainMap`:
+        #: recovery placement then prefers nodes whose failure domain
+        #: holds no other element of the group (geo-spread policy)
+        self.domains = domains
+        #: optional zero-arg callable returning node ids recovery must
+        #: not place onto (controlplane maintenance/fencing cordons);
+        #: composed into every chooser's exclusion set
+        self.cordons = None
         self.coordinator = CoordinatedCheckpoint(
             cluster, self.strategy, tracer, auditor
         )
@@ -150,6 +159,17 @@ class DisklessCheckpointer:
         """Install (or replace) the audit hook after construction."""
         self.auditor = auditor
         self.coordinator.auditor = auditor
+
+    # ------------------------------------------------------------------
+    # recovery placement constraints
+    # ------------------------------------------------------------------
+    def _recovery_exclude(self, base: set[int]) -> set[int]:
+        """Exclusion set for recovery placement: the crash being handled
+        plus any controlplane cordons (maintenance / fencing) — a drain
+        in progress must never become a parity or restore target."""
+        if self.cordons is not None:
+            return base | set(self.cordons())
+        return base
 
     # ------------------------------------------------------------------
     # transfers (retry seam)
@@ -793,7 +813,9 @@ class DisklessCheckpointer:
 
         # ship the rebuilt image to its new home and restore
         target = choose_restore_node(
-            self.cluster, self.layout, group, exclude={report.failed_node}
+            self.cluster, self.layout, group,
+            exclude=self._recovery_exclude({report.failed_node}),
+            domains=self.domains,
         )
         if target != parity_node:
             flow = self._transfer(
@@ -831,7 +853,9 @@ class DisklessCheckpointer:
         """Process: rebuild a lost parity block on a fresh node."""
         sim = self.cluster.sim
         new_node = choose_parity_node(
-            self.cluster, self.layout, group, exclude={report.failed_node}
+            self.cluster, self.layout, group,
+            exclude=self._recovery_exclude({report.failed_node}),
+            domains=self.domains,
         )
         flows = []
         payloads = []
@@ -926,12 +950,19 @@ class DisklessCheckpointer:
 
     def _missing_shard_slots(self, group: RaidGroup) -> list[int]:
         """Shard indices whose home is dead, block missing, or colocated
-        with a member — everything :meth:`heal` must re-home."""
+        with a member — everything :meth:`heal` must re-home.  With
+        :attr:`domains` set, sharing a *failure domain* with a member
+        counts as colocation too (geo-spread invariant)."""
         member_nodes = {
             self.cluster.vm(v).node_id
             for v in group.member_vm_ids
             if self.cluster.vm(v).node_id is not None
         }
+        member_doms = (
+            {self.domains.domain_of(m) for m in member_nodes}
+            if self.domains is not None
+            else None
+        )
         slots = []
         for j, node_id in enumerate(group.parity_nodes):
             node = self.cluster.node(node_id)
@@ -939,6 +970,10 @@ class DisklessCheckpointer:
                 not node.alive
                 or shard_key(group.group_id, j) not in node.parity_store
                 or node_id in member_nodes
+                or (
+                    member_doms is not None
+                    and self.domains.domain_of(node_id) in member_doms
+                )
             ):
                 slots.append(j)
         return slots
@@ -1086,7 +1121,9 @@ class DisklessCheckpointer:
         for v in lost_vm_ids:
             lost_vm = self.cluster.vm(v)
             target = choose_restore_node(
-                self.cluster, self.layout, group, exclude={report.failed_node}
+                self.cluster, self.layout, group,
+                exclude=self._recovery_exclude({report.failed_node}),
+                domains=self.domains,
             )
             if target != staging:
                 flow = self._transfer(
@@ -1146,9 +1183,16 @@ class DisklessCheckpointer:
         homes = list(group.parity_nodes)
         for j in slots:
             taken = {h for i, h in enumerate(homes) if i != j}
+            avoid = frozenset(
+                self.domains.domain_of(h)
+                for i, h in enumerate(homes)
+                if i != j and self.cluster.node(h).alive
+            ) if self.domains is not None else frozenset()
             homes[j] = choose_parity_node(
                 self.cluster, self.layout, group,
-                exclude={report.failed_node} | taken,
+                exclude=self._recovery_exclude({report.failed_node} | taken),
+                domains=self.domains,
+                avoid_domains=avoid,
             )
         # gather member images; bail if a member just died too (the queued
         # failure's recovery rebuilds it and re-encodes afterwards)
@@ -1260,7 +1304,18 @@ class DisklessCheckpointer:
             }
             missing = (not pnode.alive) or group.group_id not in pnode.parity_store
             colocated = group.parity_node in member_nodes
-            if not (missing or colocated):
+            member_doms = (
+                {self.domains.domain_of(m) for m in member_nodes}
+                if self.domains is not None
+                else set()
+            )
+            dom_colocated = (
+                not missing
+                and not colocated
+                and self.domains is not None
+                and self.domains.domain_of(group.parity_node) in member_doms
+            )
+            if not (missing or colocated or dom_colocated):
                 continue
             # only act when a strictly valid new home exists
             valid = [
@@ -1268,6 +1323,15 @@ class DisklessCheckpointer:
                 for n in self.cluster.alive_nodes
                 if n.node_id not in member_nodes and n.node_id != group.parity_node
             ]
+            if dom_colocated:
+                # the current home is safe node-wise; move only if a
+                # domain-orthogonal home actually exists
+                valid = [
+                    n for n in valid
+                    if self.domains.domain_of(n.node_id) not in member_doms
+                ]
+                if not valid:
+                    continue
             if not valid and not missing:
                 continue
             if not valid and missing:

@@ -392,11 +392,21 @@ def layout_checkpoint_node(
 
 
 def layout_dvdc(
-    cluster: VirtualCluster, group_size: int | None = None, n_parity: int = 1
+    cluster: VirtualCluster, group_size: int | None = None, n_parity: int = 1,
+    domains=None,
 ) -> GroupLayout:
     """Fig. 4: fully distributed — orthogonal groups, parity rotated over
     all nodes, every node computes.  Default group size is
     ``n_nodes - n_parity`` (members on all nodes but the scheme's ``m``
-    shard homes; single parity keeps the paper's ``n_nodes - 1``)."""
-    size = group_size if group_size is not None else cluster.n_nodes - n_parity
-    return build_orthogonal_layout(cluster, size, parity="rotate", n_parity=n_parity)
+    shard homes; single parity keeps the paper's ``n_nodes - 1``).
+    ``domains`` constrains orthogonality to failure domains (geo-spread:
+    default size then becomes ``n_domains - n_parity``)."""
+    if group_size is not None:
+        size = group_size
+    elif domains is not None:
+        size = domains.n_domains - n_parity
+    else:
+        size = cluster.n_nodes - n_parity
+    return build_orthogonal_layout(
+        cluster, size, parity="rotate", domains=domains, n_parity=n_parity
+    )

@@ -38,6 +38,7 @@ def choose_restore_node(
     layout: GroupLayout,
     group: RaidGroup,
     exclude: set[int] | None = None,
+    domains=None,
 ) -> int:
     """Pick the node to restore a reconstructed VM onto.
 
@@ -45,6 +46,12 @@ def choose_restore_node(
     and not the group's parity node (keeps the layout valid), breaking
     ties by current VM count; falls back to any alive non-member node,
     then any alive node (with the caller expected to rebalance).
+
+    With ``domains`` (a :class:`~repro.failures.domains.FailureDomainMap`),
+    a stronger tier is tried first: an ideal node whose failure domain
+    holds no surviving element of the group — so a geo-spread layout
+    stays domain-orthogonal through recovery whenever capacity allows.
+    ``domains=None`` is bit-identical to the historical behavior.
     """
     exclude = exclude or set()
     member_nodes = {
@@ -61,6 +68,16 @@ def choose_restore_node(
 
     ideal = [n for n in alive if n.node_id not in member_nodes
              and n.node_id not in group.parity_nodes]
+    if domains is not None and ideal:
+        taken_domains = {domains.domain_of(m) for m in member_nodes}
+        taken_domains |= {
+            domains.domain_of(p) for p in group.parity_nodes
+            if cluster.node(p).alive
+        }
+        spread = [n for n in ideal
+                  if domains.domain_of(n.node_id) not in taken_domains]
+        if spread:
+            return min(spread, key=load).node_id
     if ideal:
         return min(ideal, key=load).node_id
     non_member = [n for n in alive if n.node_id not in member_nodes]
@@ -75,6 +92,8 @@ def choose_parity_node(
     group: RaidGroup,
     exclude: set[int] | None = None,
     allow_degraded: bool = True,
+    domains=None,
+    avoid_domains: frozenset[int] = frozenset(),
 ) -> int:
     """Pick a replacement parity node: alive, hosting no group member,
     with the lightest current parity load.
@@ -85,6 +104,14 @@ def choose_parity_node(
     layout is then *degraded* (that node's failure would cost two
     elements) until the cluster heals and
     :func:`~repro.core.placement.rebalance_after_migration` runs.
+
+    With ``domains`` set, eligible nodes whose failure domain holds no
+    surviving group element (and is not in ``avoid_domains`` — the
+    domains of sibling parity shards already chosen) are preferred, so
+    a domain loss still costs the group at most one element.  The tier
+    is a preference, not a filter: when the constraint can't be met the
+    historical tie-break applies unchanged.  ``domains=None`` is
+    bit-identical to the historical behavior.
     """
     exclude = exclude or set()
     member_count: dict[int, int] = {}
@@ -98,6 +125,15 @@ def choose_parity_node(
         for n in cluster.alive_nodes
         if n.node_id not in member_count and n.node_id not in exclude
     ]
+    if domains is not None and eligible:
+        taken_domains = {domains.domain_of(m) for m in member_count}
+        taken_domains |= set(avoid_domains)
+        spread = [n for n in eligible
+                  if domains.domain_of(n.node_id) not in taken_domains]
+        if spread:
+            return min(
+                spread, key=lambda n: (load.get(n.node_id, 0), n.node_id)
+            ).node_id
     if eligible:
         return min(eligible, key=lambda n: (load.get(n.node_id, 0), n.node_id)).node_id
     if not allow_degraded:

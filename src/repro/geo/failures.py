@@ -1,0 +1,95 @@
+"""Correlated multi-level failure injection for geo clusters.
+
+:func:`repro.failures.domains.draw_domain_schedule` already models one
+correlated level (whole racks).  A geo cluster has several at once:
+independent node crashes, rack losses, and — rarest but costliest —
+full-site outages.  :func:`draw_geo_schedule` superimposes a seeded
+renewal process per level into one replayable
+:class:`~repro.failures.injector.FailureSchedule`, and
+:class:`GeoEvent` carries the level/domain annotation the study runner
+and fuzzer use to classify outcomes (a site loss beyond a policy's
+tolerance is *fate*; anything less is the policy's job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..failures.distributions import FailureDistribution
+from ..failures.injector import FailureEvent, FailureSchedule
+from .topology import GEO_LEVELS, GeoSpec
+
+__all__ = ["GeoEvent", "draw_geo_schedule", "site_kill_members"]
+
+
+@dataclass(frozen=True)
+class GeoEvent:
+    """A correlated failure: every node of one domain at one instant."""
+
+    time: float
+    level: str  # one of GEO_LEVELS
+    domain: int  # domain id at that level
+    nodes: tuple[int, ...]  # members killed together
+
+
+def site_kill_members(geo: GeoSpec, node_id: int) -> list[int]:
+    """The co-site companions a site-kill anchored at ``node_id`` takes
+    out (the whole site, anchor included)."""
+    return geo.nodes_in_site(geo.site_of(node_id))
+
+
+def draw_geo_schedule(
+    rng: np.random.Generator,
+    geo: GeoSpec,
+    horizon: float,
+    node_dist: FailureDistribution | None = None,
+    rack_dist: FailureDistribution | None = None,
+    site_dist: FailureDistribution | None = None,
+    repair_time: float = 0.0,
+) -> tuple[FailureSchedule, list[GeoEvent]]:
+    """Superimposed node/rack/site renewal failure processes.
+
+    Each provided distribution drives an independent renewal process
+    *per domain at its level* (``node_dist``'s MTBF is per node,
+    ``rack_dist``'s per rack, ``site_dist``'s per site); a level with no
+    distribution contributes nothing.  Draw order is fixed — levels in
+    :data:`~repro.geo.topology.GEO_LEVELS` order, domains ascending
+    within a level — so one seeded ``rng`` replays the exact schedule.
+
+    Returns the flat per-node :class:`FailureSchedule` (drop-in for the
+    existing injector/resilience surfaces) plus the correlated
+    :class:`GeoEvent` annotations, both sorted by time.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be > 0")
+    dists = {"node": node_dist, "rack": rack_dist, "site": site_dist}
+    geo_events: list[GeoEvent] = []
+    for level in GEO_LEVELS:
+        dist = dists.get(level)
+        if dist is None:
+            continue
+        dmap = geo.domain_map(level)
+        for domain in dmap.domains():
+            members = tuple(dmap.nodes_in(domain))
+            t = 0.0
+            while True:
+                t += dist.sample(rng)
+                if t > horizon:
+                    break
+                geo_events.append(
+                    GeoEvent(time=t, level=level, domain=domain, nodes=members)
+                )
+                t += repair_time
+    geo_events.sort(key=lambda e: (e.time, GEO_LEVELS.index(e.level), e.domain))
+    events: list[FailureEvent] = []
+    ordinals = [0] * geo.n_nodes
+    for ge in geo_events:
+        for node in ge.nodes:
+            events.append(
+                FailureEvent(time=ge.time, node_id=node, ordinal=ordinals[node])
+            )
+            ordinals[node] += 1
+    events.sort(key=lambda e: (e.time, e.node_id))
+    return FailureSchedule(events), geo_events

@@ -1,0 +1,546 @@
+"""The geo placement study: three policies against a site outage.
+
+One seeded scenario — a multi-site cluster running incremental DVDC
+epochs — run under each cross-site placement policy:
+
+``local-parity``
+    The status quo: orthogonal groups over *nodes*, sites ignored.
+    Cheapest (all parity traffic stays LAN-local by accident of
+    placement) and the paper's baseline — but a site outage takes
+    members *and* their parity homes together, so it loses data.
+``geo-spread``
+    Groups constrained to pairwise-distinct *sites*
+    (``build_orthogonal_layout(domains=...)`` + domain-aware recovery
+    placement): a full-site loss costs each group at most one element,
+    within the coding scheme's tolerance.  Every checkpoint exchange
+    crosses the WAN.
+``remus-async``
+    Local parity at LAN speed plus an asynchronous remote full copy per
+    VM (:class:`~repro.geo.remus.RemusAsyncReplicator`).  A site outage
+    beyond local tolerance is salvaged from the remote copies at the
+    cost of the replication lag window (epochs not yet shipped).
+
+:func:`run_geo_point` runs one (policy, seed) cell end to end — epochs,
+optional site kill, recovery/salvage, repair, re-spread, strict audit —
+and returns survival plus bit-exactness digests.  The ``geo_cell``
+campaign task kind wraps it; ``repro geo study`` and ``repro bench geo``
+fan it out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..checkpoint.strategies import IncrementalCapture
+from ..cluster.checksum import block_checksum
+from ..cluster.vm import VMState
+from ..coding import get_scheme
+from ..controlplane.scheduler import PlacementEngine
+from ..core.architectures import dvdc
+from ..network.link import NetworkError
+from ..perf.scale import scenario_digests
+from ..sim import NULL_TRACER, Simulator, Tracer
+from ..sim.rng import RngRegistry
+from .remus import RemusAsyncReplicator
+from .topology import (
+    DEFAULT_WAN_BANDWIDTH,
+    DEFAULT_WAN_LATENCY,
+    GeoSpec,
+    geo_cluster_spec,
+)
+
+__all__ = [
+    "POLICIES",
+    "GeoConfig",
+    "build_geo_scenario",
+    "respread_groups",
+    "run_geo_point",
+    "run_geo_study",
+    "generate_geo_bench",
+]
+
+POLICIES = ("local-parity", "geo-spread", "remus-async")
+
+
+@dataclass(frozen=True)
+class GeoConfig:
+    """Parameters of one geo-study cell."""
+
+    n_nodes: int = 12
+    n_sites: int = 3
+    racks_per_site: int = 2
+    policy: str = "local-parity"
+    vms_per_node: int = 1
+    epochs: int = 2
+    seed: int = 0
+    scheme: str = "xor"
+    group_size: int | None = None
+    image_pages: int = 8
+    page_size: int = 64
+    dirty_pages_per_vm: int = 2
+    wan_bandwidth: float = DEFAULT_WAN_BANDWIDTH
+    wan_latency: float = DEFAULT_WAN_LATENCY
+    allocator: str = "incremental"
+    #: site to kill after the last commit; ``None`` = fault-free run,
+    #: ``-1`` = the site whose loss hurts the layout most (computed)
+    kill_site: int | None = None
+    #: final epochs remus-async has NOT yet shipped when the site dies
+    #: (its lag window, in epochs); 0 = fully caught up
+    lag_epochs: int = 1
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.lag_epochs < 0 or self.lag_epochs > self.epochs:
+            raise ValueError("lag_epochs must be in 0..epochs")
+
+    @property
+    def n_vms(self) -> int:
+        return self.n_nodes * self.vms_per_node
+
+    def geo_spec(self) -> GeoSpec:
+        return GeoSpec(
+            n_nodes=self.n_nodes,
+            n_sites=self.n_sites,
+            racks_per_site=self.racks_per_site,
+            wan_bandwidth=self.wan_bandwidth,
+            wan_latency=self.wan_latency,
+        )
+
+
+def build_geo_scenario(cfg: GeoConfig, tracer: Tracer | None = None):
+    """Construct ``(sim, cluster, ck, replicator, geo, rngs, tracer)``.
+
+    Mirrors :func:`repro.perf.scale.build_scale_scenario` — same
+    placement engine, same named RNG streams, same VM shape — with the
+    topology swapped for :class:`~repro.geo.topology.GeoTopology` and
+    the layout built per ``cfg.policy``.
+    """
+    sim = Simulator()
+    if tracer is None:
+        tracer = Tracer() if cfg.trace else NULL_TRACER
+    geo = cfg.geo_spec()
+    from ..cluster.cluster import VirtualCluster
+
+    spec = geo_cluster_spec(geo, allocator=cfg.allocator)
+    rngs = RngRegistry(cfg.seed)
+    cluster = VirtualCluster(sim, spec, tracer=tracer)
+    hosts = PlacementEngine(cluster).spread(cfg.n_vms)
+    init = rngs.stream("image-init")
+    for i in range(cfg.n_vms):
+        vm = cluster.create_vm(
+            hosts[i], 1e9, dirty_rate=2e5,
+            image_pages=cfg.image_pages, page_size=cfg.page_size,
+        )
+        fill = min(512, vm.image.nbytes)
+        vm.image.write(0, init.integers(0, 256, fill, dtype=np.uint8))
+        vm.image.clear_dirty()
+    scheme = get_scheme(cfg.scheme)
+    # one group size for every policy, so storage/traffic are comparable:
+    # the geo-spread-feasible k = n_sites - m
+    group_size = (
+        cfg.group_size
+        if cfg.group_size is not None
+        else max(1, cfg.n_sites - scheme.n_shards)
+    )
+    domains = geo.domain_map("site") if cfg.policy == "geo-spread" else None
+    ck = dvdc(
+        cluster, group_size=group_size, strategy=IncrementalCapture(),
+        tracer=tracer, scheme=scheme, domains=domains,
+    )
+    replicator = None
+    if cfg.policy == "remus-async":
+        replicator = RemusAsyncReplicator(cluster, geo, ck, tracer=tracer)
+        for vm_id in sorted(cluster.vms):
+            replicator.standby_node(vm_id)  # fixed assignment up front
+    return sim, cluster, ck, replicator, geo, rngs, tracer
+
+
+def _dirty_epoch(cluster, rngs: RngRegistry, cfg: GeoConfig) -> None:
+    for vm in cluster.all_vms:
+        rng = rngs.stream(f"dirty/vm{vm.vm_id}")
+        idx = rng.integers(0, cfg.image_pages, size=cfg.dirty_pages_per_vm)
+        vm.image.touch_pages(idx, rng)
+
+
+def _committed_checksums(cluster) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for node in cluster.nodes:
+        for vm_id, img in node.checkpoint_store.items():
+            if isinstance(img.payload, np.ndarray):
+                out[vm_id] = block_checksum(img.payload_flat())
+    return dict(sorted(out.items()))
+
+
+def _group_site_losses(ck, cluster, geo: GeoSpec, site: int) -> dict[int, int]:
+    """Elements (members + parity shards) each group loses to ``site``."""
+    dead = set(geo.nodes_in_site(site))
+    losses: dict[int, int] = {}
+    for g in ck.layout.groups:
+        n = sum(
+            1 for v in g.member_vm_ids if cluster.vm(v).node_id in dead
+        )
+        n += sum(1 for p in g.parity_nodes if p in dead)
+        if n:
+            losses[g.group_id] = n
+    return losses
+
+
+def _worst_kill_site(ck, cluster, geo: GeoSpec) -> int:
+    """The site whose loss costs the worst-placed group the most
+    elements (ties to the lowest site id) — where ``kill_site=-1`` aims."""
+    best = (0, 0)
+    for site in range(geo.n_sites):
+        losses = _group_site_losses(ck, cluster, geo, site)
+        worst = max(losses.values(), default=0)
+        if worst > best[1]:
+            best = (site, worst)
+    return best[0]
+
+
+def respread_groups(ck, cluster, domains, tracer: Tracer = NULL_TRACER):
+    """Process: restore domain orthogonality of *members* after repairs.
+
+    Recovery during a domain outage legitimately lands rebuilt members
+    in surviving domains (the preferred tier is empty while the domain
+    is down).  Once nodes are repaired, this pass cold-migrates each
+    offending member — committed image and all — onto an alive node in
+    a domain holding no other element of its group, so a strict
+    domain-aware audit passes again.  Parity re-homes stay ``heal()``'s
+    job.  Returns ``{vm_id: new_node}``.
+    """
+    moved: dict[int, int] = {}
+    for group in list(ck.layout.groups):
+        placed: dict[int, list[int]] = {}  # domain -> member vm_ids there
+        parity_doms = {
+            domains.domain_of(p)
+            for p in group.parity_nodes
+            if cluster.node(p).alive
+        }
+        for v in group.member_vm_ids:
+            node = cluster.vm(v).node_id
+            if node is None:
+                continue
+            placed.setdefault(domains.domain_of(node), []).append(v)
+        offenders = [
+            v
+            for dom, vms in sorted(placed.items())
+            for v in sorted(vms)[1:]  # keep the first element per domain
+        ] + [
+            v
+            for dom, vms in sorted(placed.items())
+            if dom in parity_doms
+            for v in sorted(vms)[:1]
+        ]
+        for vm_id in offenders:
+            vm = cluster.vm(vm_id)
+            src = vm.node_id
+            if src is None:
+                continue
+            taken = {
+                domains.domain_of(cluster.vm(v).node_id)
+                for v in group.member_vm_ids
+                if v != vm_id and cluster.vm(v).node_id is not None
+            } | parity_doms
+            member_nodes = {
+                cluster.vm(v).node_id
+                for v in group.member_vm_ids
+                if cluster.vm(v).node_id is not None
+            }
+            candidates = [
+                n for n in cluster.alive_nodes
+                if domains.domain_of(n.node_id) not in taken
+                and n.node_id not in member_nodes
+                and n.node_id not in group.parity_nodes
+            ]
+            if not candidates:
+                continue
+            dst = min(candidates, key=lambda n: (len(n.vms), n.node_id)).node_id
+            was_running = vm.state == VMState.RUNNING
+            if was_running:
+                vm.pause()
+            try:
+                yield ck._transfer(
+                    src, dst, vm.memory_bytes, label=f"respread.vm{vm_id}"
+                )
+            except NetworkError:
+                if was_running:
+                    vm.resume()
+                continue
+            cluster.move_vm(vm_id, dst)
+            img = cluster.node(src).checkpoint_store.pop(vm_id, None)
+            if img is not None:
+                cluster.node(dst).checkpoint_store[vm_id] = img
+            if was_running:
+                vm.resume()
+            moved[vm_id] = dst
+            tracer.emit(
+                cluster.sim.now, "geo.respread", vm=vm_id, src=src, dst=dst,
+                group=group.group_id,
+            )
+    return moved
+
+
+def run_geo_point(cfg: GeoConfig, collect_digests: bool = False) -> dict:
+    """Run one geo-study cell end to end.
+
+    Fault-free epochs, then (when ``kill_site`` is set) a correlated
+    full-site outage with WAN partition, recovery or remote salvage,
+    repair, domain re-spread, a fresh converging cycle, and a strict
+    audit.  Survival is judged bit-exactly: every VM's committed image
+    must match the checksum logged when its restored epoch committed.
+    """
+    sim, cluster, ck, replicator, geo, rngs, tracer = build_geo_scenario(cfg)
+
+    def run_proc(gen):
+        proc = sim.process(gen)
+        sim.run()
+        if proc.ok is False:
+            raise proc.value
+        return proc.value
+
+    epoch_log: dict[int, dict[int, int]] = {}
+    replicate_until = cfg.epochs - cfg.lag_epochs
+    for e in range(cfg.epochs):
+        _dirty_epoch(cluster, rngs, cfg)
+        run_proc(ck.run_cycle())
+        epoch_log[ck.committed_epoch] = _committed_checksums(cluster)
+        if replicator is not None and (e + 1) <= replicate_until:
+            run_proc(replicator.replicate_epoch())
+
+    result: dict = {
+        "policy": cfg.policy,
+        "seed": cfg.seed,
+        "n_nodes": cfg.n_nodes,
+        "n_sites": cfg.n_sites,
+        "scheme": cfg.scheme,
+        "epochs": cfg.epochs,
+        "committed_epoch": ck.committed_epoch,
+        "kill_site": None,
+        "beyond_tolerance": False,
+        "survived": True,
+        "data_lost": False,
+        "rollback_epochs": 0,
+        "salvaged_vms": 0,
+        "respread_vms": 0,
+    }
+
+    domains = geo.domain_map("site")
+    if cfg.kill_site is not None:
+        site = (
+            _worst_kill_site(ck, cluster, geo)
+            if cfg.kill_site == -1
+            else cfg.kill_site
+        )
+        result["kill_site"] = site
+        losses = _group_site_losses(ck, cluster, geo, site)
+        beyond = any(n > ck.scheme.tolerance for n in losses.values())
+        result["beyond_tolerance"] = beyond
+        dead_nodes = geo.nodes_in_site(site)
+        if geo.n_sites > 1:
+            cluster.topology.set_site_wan_up(site, False, reason="site outage")
+        for node_id in dead_nodes:
+            cluster.kill_node(node_id)
+
+        restored_epochs: dict[int, int] = {}
+        if not beyond:
+            run_proc(ck.recover(dead_nodes[0]))
+            restored_epochs = {
+                vm.vm_id: ck.committed_epoch for vm in cluster.all_vms
+            }
+        elif replicator is not None:
+            salvage = run_proc(replicator.salvage_cluster())
+            result["rollback_epochs"] = salvage.rollback_epochs
+            result["salvaged_vms"] = len(salvage.salvaged)
+            result["data_lost"] = bool(salvage.unsalvageable)
+            restored_epochs = {
+                vm.vm_id: ck.committed_epoch for vm in cluster.all_vms
+            }
+            for vm_id in salvage.salvaged:
+                restored_epochs[vm_id] = replicator.copies[vm_id].epoch
+        else:
+            result["data_lost"] = True
+            result["survived"] = False
+
+        if restored_epochs:
+            # bit-exact survival check against the epoch log
+            ok = True
+            committed_now = _committed_checksums(cluster)
+            for vm in cluster.all_vms:
+                if vm.state == VMState.FAILED or vm.node_id is None:
+                    ok = False
+                    break
+                want = epoch_log.get(restored_epochs[vm.vm_id], {}).get(vm.vm_id)
+                if want is not None and committed_now.get(vm.vm_id) != want:
+                    ok = False
+                    break
+            result["survived"] = ok
+            result["data_lost"] = result["data_lost"] or not ok
+
+        # repair and converge back to full health
+        for node_id in dead_nodes:
+            cluster.repair_node(node_id)
+        if geo.n_sites > 1:
+            cluster.topology.set_site_wan_up(site, True, reason="site repaired")
+        if result["survived"]:
+            if cfg.policy == "geo-spread":
+                moved = run_proc(respread_groups(ck, cluster, domains, tracer))
+                result["respread_vms"] = len(moved)
+            run_proc(ck.heal())
+            _dirty_epoch(cluster, rngs, cfg)
+            run_proc(ck.run_cycle())
+            epoch_log[ck.committed_epoch] = _committed_checksums(cluster)
+            if replicator is not None:
+                run_proc(replicator.replicate_epoch())
+            from ..audit import audit_cluster
+
+            audit = audit_cluster(
+                cluster, ck.layout, ck.committed_epoch, strict=True,
+                context="geo.post_disaster",
+                scheme=ck.scheme,
+                domains=domains if cfg.policy == "geo-spread" else None,
+            )
+            result["strict_audit_ok"] = not audit.fatal
+            result["audit_violations"] = [str(v) for v in audit.fatal]
+
+    topo = cluster.topology
+    result["wan_bytes"] = float(getattr(topo, "wan_bytes", 0.0))
+    if replicator is not None:
+        result["replication_lag"] = {
+            str(k): float(v) for k, v in sorted(replicator.lag_by_epoch.items())
+        }
+    result["events"] = sim.event_count
+    result["sim_time"] = sim.now
+    if collect_digests:
+        digests = scenario_digests(sim, cluster, ck, rngs, tracer)
+        h = hashlib.sha256()
+        h.update(float(result["wan_bytes"]).hex().encode())
+        h.update(
+            f"|{result['survived']}|{result['data_lost']}"
+            f"|{result['rollback_epochs']}|{result['salvaged_vms']}".encode()
+        )
+        for epoch, sums in sorted(epoch_log.items()):
+            h.update(f"|e{epoch}:{sorted(sums.items())}".encode())
+        digests["geo"] = h.hexdigest()
+        result["digests"] = digests
+    return result
+
+
+def run_geo_study(
+    cfg: GeoConfig,
+    policies=POLICIES,
+    seeds=(0,),
+    jobs: int = 1,
+    store=None,
+) -> dict:
+    """Fan the (policy × seed) matrix out through the campaign layer.
+
+    Serial and parallel runs are bit-identical (each cell is one
+    deterministic ``geo_cell`` task); the summary reports per-policy
+    survival under the configured site kill.
+    """
+    from ..campaign import CampaignRunner, Task
+
+    tasks = []
+    for policy in policies:
+        for seed in seeds:
+            cell = replace(cfg, policy=policy, seed=seed)
+            params = {f: getattr(cell, f) for f in cell.__dataclass_fields__}
+            tasks.append(Task(kind="geo_cell", params=params))
+    outcome = CampaignRunner(store=store, jobs=jobs).run(tasks)
+    if outcome.n_failed:
+        raise RuntimeError(
+            f"{outcome.n_failed} geo cells failed: "
+            + "; ".join(str(r.error) for r in outcome.failures()[:3])
+        )
+    cells = [run.value for run in outcome.runs]
+    by_policy: dict[str, list[dict]] = {}
+    for cell in cells:
+        by_policy.setdefault(cell["policy"], []).append(cell)
+    summary = {}
+    for policy, rows in sorted(by_policy.items()):
+        summary[policy] = {
+            "cells": len(rows),
+            "survived": sum(1 for r in rows if r["survived"]),
+            "data_lost": sum(1 for r in rows if r["data_lost"]),
+            "beyond_tolerance": sum(1 for r in rows if r["beyond_tolerance"]),
+            "mean_rollback_epochs": (
+                sum(r["rollback_epochs"] for r in rows) / len(rows)
+            ),
+            "mean_wan_bytes": sum(r["wan_bytes"] for r in rows) / len(rows),
+        }
+    return {"config": cfg.__dict__ | {}, "cells": cells, "summary": summary}
+
+
+def generate_geo_bench(quick: bool = False, log=lambda msg: None) -> dict:
+    """The ``repro bench geo`` payload: policy survival matrix under a
+    full-site kill, with the domain-correlated window-loss model
+    Monte-Carlo corroborated alongside.
+    """
+    from ..model import (
+        estimate_geo_window_loss,
+        geo_window_loss_probability,
+        worst_domain_cost,
+    )
+
+    seeds = (0,) if quick else (0, 1)
+    cfg = GeoConfig(n_nodes=12, n_sites=3, epochs=2, kill_site=-1)
+    log(f"geo survival matrix: {len(POLICIES)} policies x {len(seeds)} seeds")
+    study = run_geo_study(cfg, seeds=seeds)
+
+    log("window-loss model vs Monte-Carlo (correlated site terms)")
+    lam, window, n_nodes, n_sites = 1e-4, 600.0, cfg.n_nodes, cfg.n_sites
+    site_rate = 1e-5
+    model_points = []
+    for policy in POLICIES:
+        sim, cluster, ck, _rep, geo, _rngs, _tr = build_geo_scenario(
+            replace(cfg, policy=policy)
+        )
+        cost = worst_domain_cost(ck.layout, cluster, geo.domain_map("site"))
+        closed = geo_window_loss_probability(
+            lam, n_nodes, window, tolerance=ck.scheme.tolerance,
+            site_rate=site_rate, n_sites=n_sites, site_cost=cost,
+        )
+        mc = estimate_geo_window_loss(
+            np.random.default_rng([7, 0x6E0]), lam, n_nodes, window,
+            n_runs=20000 if not quick else 4000,
+            tolerance=ck.scheme.tolerance,
+            site_rate=site_rate, n_sites=n_sites, site_cost=cost,
+        )
+        agrees = abs(mc.mean - closed) <= max(4 * mc.std_error, 1e-4)
+        # the policy-differentiating prediction: a lone site outage
+        # exceeds local tolerance iff the layout stacks more elements
+        # per site than the scheme absorbs — checked against the
+        # simulated survival matrix below
+        predicted_beyond = cost > ck.scheme.tolerance
+        sim_beyond = [
+            bool(c["beyond_tolerance"])
+            for c in study["cells"]
+            if c["policy"] == policy
+        ]
+        model_points.append({
+            "policy": policy,
+            "site_cost": cost,
+            "closed_form": closed,
+            "mc_mean": mc.mean,
+            "mc_std_error": mc.std_error,
+            "agrees": agrees,
+            "predicted_beyond_tolerance": predicted_beyond,
+            "matches_sim": all(s == predicted_beyond for s in sim_beyond),
+        })
+    return {
+        "bench": "geo",
+        "quick": quick,
+        "summary": study["summary"],
+        "cells": study["cells"],
+        "model": {
+            "lam": lam, "window": window, "site_rate": site_rate,
+            "points": model_points,
+        },
+    }

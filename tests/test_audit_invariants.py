@@ -34,7 +34,9 @@ def _committed_state(config=None, seed=0):
     """A cluster with one committed epoch, plus its checkpointer."""
     from repro.sim import NULL_TRACER
 
-    sim, cluster, ck, auditor = _build(config or FuzzConfig(), seed, NULL_TRACER)
+    sim, cluster, ck, auditor, *_geo = _build(
+        config or FuzzConfig(), seed, NULL_TRACER
+    )
     run_process(sim, ck.run_cycle())
     return sim, cluster, ck, auditor
 
@@ -171,7 +173,7 @@ class TestAuditorFires:
         from repro.sim import NULL_TRACER
 
         config = FuzzConfig(n_cycles=2)
-        sim, cluster, ck, auditor = _build(config, 3, NULL_TRACER)
+        sim, cluster, ck, auditor, *_geo = _build(config, 3, NULL_TRACER)
 
         def proc():
             yield from ck.run_cycle()
